@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks of the hot data structures: the SEESAW L1
+//! lookup paths (Table I's cases), the TFT, the baseline cache, the TLB
+//! hierarchy, the buddy allocator, and the trace generator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use seesaw_cache::{CacheConfig, IndexPolicy, SetAssocCache, WayMask};
+use seesaw_core::{
+    BaselineL1, L1DataCache, L1Request, L1Timing, SeesawConfig, SeesawL1,
+    TranslationFilterTable,
+};
+use seesaw_mem::{
+    AddressSpace, BuddyAllocator, PageSize, PhysAddr, PhysicalMemory, ThpPolicy, VirtAddr,
+};
+use seesaw_tlb::{TlbHierarchy, TlbHierarchyConfig};
+use seesaw_workloads::{catalog, TraceGenerator};
+
+fn timing() -> L1Timing {
+    L1Timing {
+        fast_cycles: 1,
+        slow_cycles: 2,
+    }
+}
+
+fn super_req(va: u64) -> L1Request {
+    L1Request {
+        va: VirtAddr::new(va),
+        pa: PhysAddr::new(0x1fa0_0000 | (va & 0x1f_ffff)),
+        page_size: PageSize::Super2M,
+        is_write: false,
+    }
+}
+
+fn bench_seesaw_l1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seesaw_l1");
+
+    group.bench_function("superpage_tft_hit", |b| {
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let req = super_req(0x4000_1040);
+        l1.tft_fill(req.va);
+        l1.access(&req);
+        b.iter(|| black_box(l1.access(black_box(&req))));
+    });
+
+    group.bench_function("superpage_tft_miss", |b| {
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let req = super_req(0x7fc0_1040);
+        l1.access(&req);
+        b.iter(|| black_box(l1.access(black_box(&req))));
+    });
+
+    group.bench_function("coherence_probe_narrow", |b| {
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let req = super_req(0x4000_1040);
+        l1.access(&req);
+        b.iter(|| black_box(l1.coherence_probe(black_box(req.pa), false)));
+    });
+
+    group.finish();
+}
+
+fn bench_baseline_l1(c: &mut Criterion) {
+    c.bench_function("baseline_l1_full_lookup", |b| {
+        let cfg = CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
+        let mut l1 = BaselineL1::new(cfg, timing(), false);
+        let req = super_req(0x4000_1040);
+        l1.access(&req);
+        b.iter(|| black_box(l1.access(black_box(&req))));
+    });
+}
+
+fn bench_tft(c: &mut Criterion) {
+    c.bench_function("tft_lookup", |b| {
+        let mut tft = TranslationFilterTable::new(16);
+        for i in 0..16u64 {
+            tft.fill(VirtAddr::new(i << 21));
+        }
+        let va = VirtAddr::new(5 << 21);
+        b.iter(|| black_box(tft.lookup(black_box(va))));
+    });
+}
+
+fn bench_cache_array(c: &mut Criterion) {
+    c.bench_function("set_assoc_read_hit", |b| {
+        let cfg = CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
+        let mut cache = SetAssocCache::new(cfg);
+        cache.fill(3, 0x42, WayMask::all(8), false);
+        b.iter(|| black_box(cache.read(3, 0x42, WayMask::all(8))));
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb_hierarchy_l1_hit", |b| {
+        let mut pmem = PhysicalMemory::new(64 << 20);
+        let mut space = AddressSpace::new(1);
+        let vma = space
+            .mmap_anonymous(&mut pmem, 4 << 20, ThpPolicy::Always)
+            .unwrap();
+        let mut tlbs = TlbHierarchy::new(TlbHierarchyConfig::sandybridge());
+        tlbs.lookup(vma.base(), &space).unwrap();
+        b.iter(|| black_box(tlbs.lookup(black_box(vma.base()), &space)));
+    });
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_order9", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 15);
+        b.iter(|| {
+            let start = buddy.alloc(9).unwrap();
+            buddy.free(black_box(start), 9).unwrap();
+        });
+    });
+}
+
+fn bench_trace_generator(c: &mut Criterion) {
+    c.bench_function("trace_generator_next_ref", |b| {
+        let spec = catalog()[0];
+        let mut generator = TraceGenerator::new(&spec, 1);
+        b.iter(|| black_box(generator.next_ref()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_seesaw_l1,
+    bench_baseline_l1,
+    bench_tft,
+    bench_cache_array,
+    bench_tlb,
+    bench_buddy,
+    bench_trace_generator
+);
+criterion_main!(benches);

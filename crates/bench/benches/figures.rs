@@ -1,0 +1,125 @@
+//! Criterion macro-benchmarks: one timed, reduced-budget slice of every
+//! paper experiment, so regressions in regeneration cost are visible.
+//! The full sweeps (all workloads, full budgets) live in the `src/bin`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use seesaw_sim::experiments;
+use seesaw_sim::{CpuKind, Frequency, L1DesignKind, RunConfig, System};
+
+/// Small instruction budget so the whole suite stays minutes, not hours.
+const BUDGET: u64 = 60_000;
+
+fn sampled(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function(name, |b| b.iter(&mut f));
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    sampled(c, "fig2a_mpki_sweep", || {
+        experiments::fig2a(5_000);
+    });
+    sampled(c, "fig2bc_sram_model", || {
+        experiments::fig2b();
+        experiments::fig2c();
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    sampled(c, "fig3_coverage_one_workload", || {
+        let config = RunConfig::paper("redis").memhog(40);
+        System::build(&config).superpage_coverage();
+    });
+}
+
+fn bench_tables(c: &mut Criterion) {
+    sampled(c, "table1_anatomy", || {
+        experiments::table1();
+    });
+    sampled(c, "table3_latencies", || {
+        experiments::table3();
+    });
+}
+
+fn run_pair(workload: &str, size: u64, cpu: CpuKind) -> f64 {
+    let cfg = RunConfig::paper(workload)
+        .l1_size(size)
+        .cpu(cpu)
+        .instructions(BUDGET);
+    let base = System::build(&cfg).run();
+    let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw)).run();
+    seesaw.runtime_improvement_pct(&base)
+}
+
+fn bench_runtime_figures(c: &mut Criterion) {
+    sampled(c, "fig7_runtime_ooo_slice", || {
+        run_pair("redis", 64, CpuKind::OutOfOrder);
+    });
+    sampled(c, "fig8_freq_sweep_slice", || {
+        for f in Frequency::ALL {
+            let cfg = RunConfig::paper("olio")
+                .frequency(f)
+                .instructions(BUDGET / 2);
+            System::build(&cfg.clone().design(L1DesignKind::Seesaw)).run();
+        }
+    });
+    sampled(c, "fig9_runtime_inorder_slice", || {
+        run_pair("redis", 64, CpuKind::InOrder);
+    });
+}
+
+fn bench_energy_figures(c: &mut Criterion) {
+    sampled(c, "fig10_fig11_energy_slice", || {
+        let cfg = RunConfig::paper("cann").l1_size(64).instructions(BUDGET);
+        let base = System::build(&cfg).run();
+        let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw)).run();
+        seesaw.energy_savings_pct(&base);
+        seesaw.energy.savings_split(&base.energy);
+    });
+}
+
+fn bench_sensitivity_figures(c: &mut Criterion) {
+    sampled(c, "fig12_fragmentation_slice", || {
+        let cfg = RunConfig::paper("nutch")
+            .l1_size(64)
+            .memhog(60)
+            .design(L1DesignKind::Seesaw)
+            .instructions(BUDGET);
+        System::build(&cfg).run();
+    });
+    sampled(c, "fig13_tft_slice", || {
+        let mut cfg = RunConfig::paper("g500")
+            .design(L1DesignKind::Seesaw)
+            .instructions(BUDGET);
+        cfg.tft_entries = 12;
+        System::build(&cfg).run().seesaw.tft_miss_fraction_of_super();
+    });
+    sampled(c, "fig14_alternatives_slice", || {
+        let cfg = RunConfig::paper("mcf")
+            .l1_size(128)
+            .design(L1DesignKind::Pipt { ways: 4 })
+            .instructions(BUDGET);
+        System::build(&cfg).run();
+    });
+    sampled(c, "fig15_way_prediction_slice", || {
+        let cfg = RunConfig::paper("tunk")
+            .l1_size(64)
+            .design(L1DesignKind::SeesawWithWayPrediction)
+            .instructions(BUDGET);
+        System::build(&cfg).run();
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig3,
+    bench_tables,
+    bench_runtime_figures,
+    bench_energy_figures,
+    bench_sensitivity_figures
+);
+criterion_main!(benches);

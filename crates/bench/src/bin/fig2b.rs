@@ -1,0 +1,9 @@
+//! Fig. 2b: cache access latency versus associativity (SRAM model).
+
+use seesaw_sim::experiments::{fig2b, fig2bc_table};
+
+fn main() {
+    println!("Fig. 2b — access latency vs associativity\n");
+    println!("{}", fig2bc_table(&fig2b(), "ns"));
+    println!("Paper shape: +10-25% per associativity step, blowing up at 16-32 ways.");
+}

@@ -1,0 +1,9 @@
+//! Fig. 2c: cache access energy versus associativity (SRAM model).
+
+use seesaw_sim::experiments::{fig2bc_table, fig2c};
+
+fn main() {
+    println!("Fig. 2c — access energy vs associativity\n");
+    println!("{}", fig2bc_table(&fig2c(), "nJ"));
+    println!("Paper shape: +40-50% per associativity step.");
+}

@@ -1,0 +1,8 @@
+//! Table I: the anatomy of a SEESAW lookup.
+
+use seesaw_sim::experiments::{table1, table1_table};
+
+fn main() {
+    println!("Table I — anatomy of a lookup (32KB SEESAW, 1.33GHz)\n");
+    println!("{}", table1_table(&table1()));
+}

@@ -1,0 +1,8 @@
+//! Table II: system parameters.
+
+use seesaw_sim::experiments::table2;
+
+fn main() {
+    println!("Table II — system parameters\n");
+    println!("{}", table2());
+}

@@ -1,0 +1,10 @@
+//! Table III: L1 cache access-latency configurations.
+
+use seesaw_sim::experiments::{table3, table3_table};
+
+fn main() {
+    println!("Table III — L1 cache configurations\n");
+    println!("{}", table3_table(&table3()));
+    println!("Pinned to the paper: 2/4/5, 5/9/13, 14/30/42 base cycles;");
+    println!("1/2/3, 1/2/3, 2/3/4 superpage cycles.");
+}

@@ -1,0 +1,36 @@
+//! Benchmark harness for the SEESAW reproduction.
+//!
+//! * `src/bin/` — one binary per paper table/figure (`fig2a` … `fig15`,
+//!   `table1` … `table3`, `ablations`): each regenerates the rows the
+//!   paper reports and prints them as an aligned table. Every binary
+//!   accepts an optional first argument overriding the per-configuration
+//!   instruction budget (default 2,000,000).
+//! * `benches/` — Criterion micro/macro benchmarks: `components` measures
+//!   the hot data structures (cache lookups, TFT, TLB, buddy allocator),
+//!   `figures` times a representative slice of each experiment.
+
+/// Reads the instruction budget from the first CLI argument, defaulting
+/// to `default` when absent or unparsable.
+pub fn instruction_budget(default: u64) -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(default)
+}
+
+/// The standard full-experiment budget.
+pub const FULL: u64 = 2_000_000;
+
+/// A reduced budget for quick looks.
+pub const QUICK: u64 = 250_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_when_no_args() {
+        // Tests run without meaningful argv[1]; expect the default.
+        assert_eq!(instruction_budget(123), 123);
+    }
+}

@@ -1,0 +1,47 @@
+//! Cache substrate for the SEESAW reproduction.
+//!
+//! Provides the parameterized set-associative cache model the paper's L1
+//! designs are built from: configurable geometry and indexing policy
+//! (VIPT / PIPT / VIVT, §II-A), way-masked lookups and partition-local
+//! replacement (the way-partitioning variant SEESAW builds on, §IV-A3),
+//! MOESI line states for the coherence substrate, an MRU way predictor
+//! (§IV-B2, Fig. 15), and the outer memory hierarchy (L2 / LLC / DRAM)
+//! that prices L1 misses.
+//!
+//! # Example
+//!
+//! ```
+//! use seesaw_cache::{CacheConfig, IndexPolicy, SetAssocCache, WayMask};
+//!
+//! // A 32 KB, 8-way, 64 B-line VIPT L1 (64 sets — the x86-64 maximum).
+//! let config = CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
+//! let mut cache = SetAssocCache::new(config);
+//! let set = 5;
+//! let ptag = 0xabcd;
+//! assert!(!cache.read(set, ptag, WayMask::all(8)).hit);
+//! cache.fill(set, ptag, WayMask::all(8), false);
+//! assert!(cache.read(set, ptag, WayMask::all(8)).hit);
+//! // A masked lookup probes only half the ways.
+//! assert_eq!(cache.read(set, ptag, WayMask::range(0, 4)).ways_probed, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod hierarchy;
+mod line;
+mod prefetch;
+mod replacement;
+mod set_assoc;
+mod stats;
+mod waypred;
+
+pub use config::{CacheConfig, IndexPolicy};
+pub use hierarchy::{MemoryLevel, OuterHierarchy, OuterHierarchyConfig};
+pub use line::{LineState, MoesiState};
+pub use prefetch::{PrefetchStats, StreamPrefetcher};
+pub use replacement::LruTracker;
+pub use set_assoc::{AccessResult, EvictedLine, SetAssocCache, WayMask};
+pub use stats::CacheStats;
+pub use waypred::MruWayPredictor;

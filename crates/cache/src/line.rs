@@ -1,0 +1,102 @@
+//! Cache line state, including MOESI coherence state (Table II: the target
+//! system uses a MOESI directory protocol).
+
+use core::fmt;
+
+/// MOESI coherence state of a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoesiState {
+    /// Modified: dirty, exclusive.
+    Modified,
+    /// Owned: dirty, shared (this cache responds to requests).
+    Owned,
+    /// Exclusive: clean, exclusive.
+    Exclusive,
+    /// Shared: clean, possibly in other caches.
+    Shared,
+    /// Invalid.
+    Invalid,
+}
+
+impl MoesiState {
+    /// True if the line holds the only up-to-date copy that must be
+    /// written back on eviction.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MoesiState::Modified | MoesiState::Owned)
+    }
+
+    /// True if a local write may proceed without a coherence transaction.
+    pub fn can_write_silently(self) -> bool {
+        matches!(self, MoesiState::Modified | MoesiState::Exclusive)
+    }
+
+    /// True if the line may service local reads.
+    pub fn is_valid(self) -> bool {
+        !matches!(self, MoesiState::Invalid)
+    }
+}
+
+impl fmt::Display for MoesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            MoesiState::Modified => 'M',
+            MoesiState::Owned => 'O',
+            MoesiState::Exclusive => 'E',
+            MoesiState::Shared => 'S',
+            MoesiState::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// One resident cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineState {
+    /// Physical line address (PA divided by line size) — globally unique,
+    /// so it serves as the full tag.
+    pub ptag: u64,
+    /// Coherence state.
+    pub coh: MoesiState,
+}
+
+impl LineState {
+    /// A freshly filled line.
+    pub fn new(ptag: u64, coh: MoesiState) -> Self {
+        Self { ptag, coh }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirtiness_follows_moesi() {
+        assert!(MoesiState::Modified.is_dirty());
+        assert!(MoesiState::Owned.is_dirty());
+        assert!(!MoesiState::Exclusive.is_dirty());
+        assert!(!MoesiState::Shared.is_dirty());
+        assert!(!MoesiState::Invalid.is_dirty());
+    }
+
+    #[test]
+    fn silent_write_permission() {
+        assert!(MoesiState::Modified.can_write_silently());
+        assert!(MoesiState::Exclusive.can_write_silently());
+        assert!(!MoesiState::Shared.can_write_silently());
+        assert!(!MoesiState::Owned.can_write_silently());
+    }
+
+    #[test]
+    fn display_single_letters() {
+        let all = [
+            MoesiState::Modified,
+            MoesiState::Owned,
+            MoesiState::Exclusive,
+            MoesiState::Shared,
+            MoesiState::Invalid,
+        ];
+        let s: String = all.iter().map(|m| m.to_string()).collect();
+        assert_eq!(s, "MOESI");
+    }
+}

@@ -1,0 +1,122 @@
+//! MRU way prediction (§IV-B2).
+//!
+//! The paper compares SEESAW against — and combines it with — an MRU-based
+//! way predictor in the style of Powell et al. [33]: predict the
+//! most-recently-used way of the (set, partition) about to be accessed,
+//! probe only that way, and fall back to the remaining ways on a
+//! misprediction. Prediction accuracy tracks program locality, which is
+//! why pointer-chasing workloads suffer (Fig. 15).
+
+/// An MRU way predictor with per-(set, partition) prediction state.
+///
+/// For a plain cache use a single partition; when stacked on SEESAW, the
+/// partition presented by the TFT selects the prediction context, so the
+/// predictor "predicts a way within the partition" (§IV-B2).
+#[derive(Debug, Clone)]
+pub struct MruWayPredictor {
+    partitions: usize,
+    /// Predicted way per `set × partition`; `usize::MAX` = no prediction.
+    predictions: Vec<usize>,
+    hits: u64,
+    mispredictions: u64,
+    cold: u64,
+}
+
+impl MruWayPredictor {
+    /// Creates a predictor for `sets` sets, each with `partitions`
+    /// prediction contexts.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(sets: usize, partitions: usize) -> Self {
+        assert!(sets > 0 && partitions > 0, "dimensions must be positive");
+        Self {
+            partitions,
+            predictions: vec![usize::MAX; sets * partitions],
+            hits: 0,
+            mispredictions: 0,
+            cold: 0,
+        }
+    }
+
+    /// The predicted way for `(set, partition)`, or `None` if this context
+    /// has never been trained.
+    pub fn predict(&self, set: usize, partition: usize) -> Option<usize> {
+        let p = self.predictions[set * self.partitions + partition];
+        (p != usize::MAX).then_some(p)
+    }
+
+    /// Trains the predictor with the way that actually hit (or was filled),
+    /// and records whether the previous prediction was right.
+    pub fn update(&mut self, set: usize, partition: usize, actual_way: usize) {
+        let slot = &mut self.predictions[set * self.partitions + partition];
+        if *slot == usize::MAX {
+            self.cold += 1;
+        } else if *slot == actual_way {
+            self.hits += 1;
+        } else {
+            self.mispredictions += 1;
+        }
+        *slot = actual_way;
+    }
+
+    /// Fraction of trained predictions that were correct.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.hits + self.mispredictions;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// `(correct, mispredicted, cold)` counts.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.hits, self.mispredictions, self.cold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_returns_none() {
+        let wp = MruWayPredictor::new(64, 2);
+        assert_eq!(wp.predict(0, 0), None);
+        assert_eq!(wp.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn repeated_way_predicts_correctly() {
+        let mut wp = MruWayPredictor::new(4, 1);
+        wp.update(2, 0, 3);
+        assert_eq!(wp.predict(2, 0), Some(3));
+        wp.update(2, 0, 3);
+        wp.update(2, 0, 3);
+        assert_eq!(wp.counts(), (2, 0, 1));
+        assert_eq!(wp.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn alternating_ways_mispredict() {
+        let mut wp = MruWayPredictor::new(1, 1);
+        for i in 0..10 {
+            wp.update(0, 0, i % 2);
+        }
+        let (hits, misses, cold) = wp.counts();
+        assert_eq!(cold, 1);
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 9);
+    }
+
+    #[test]
+    fn partitions_are_independent_contexts() {
+        let mut wp = MruWayPredictor::new(2, 2);
+        wp.update(0, 0, 1);
+        wp.update(0, 1, 6);
+        assert_eq!(wp.predict(0, 0), Some(1));
+        assert_eq!(wp.predict(0, 1), Some(6));
+        assert_eq!(wp.predict(1, 0), None);
+    }
+}

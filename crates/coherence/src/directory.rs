@@ -1,0 +1,382 @@
+//! A functional multi-core directory (and snoopy) coherence controller
+//! over real L1 cache arrays.
+//!
+//! The directory tracks sharers per physical line and forwards probes only
+//! to caches that hold the line; the snoopy variant broadcasts every
+//! transaction to all peers. The difference in probe counts is what makes
+//! SEESAW's savings 2–5 % larger under snooping (§VI-B).
+
+use std::collections::HashMap;
+
+use seesaw_cache::{CacheConfig, MoesiState, SetAssocCache, WayMask};
+
+use crate::protocol;
+
+/// Directory-based or broadcast (snoopy) probe delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoherenceMode {
+    /// Probes go only to caches the directory lists as sharers.
+    Directory,
+    /// Every transaction probes every peer cache.
+    Snoopy,
+}
+
+/// Aggregate probe statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Coherence transactions processed (read/write misses + upgrades).
+    pub transactions: u64,
+    /// L1 probes delivered to peer caches.
+    pub probes_delivered: u64,
+    /// Ways probed across all deliveries (the energy-relevant count).
+    pub probe_ways: u64,
+    /// Lines invalidated in peers.
+    pub invalidations: u64,
+    /// Dirty lines written back due to remote writes.
+    pub writebacks: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct DirEntry {
+    /// Cores holding the line.
+    sharers: Vec<usize>,
+}
+
+/// A multi-core coherence controller.
+///
+/// Each core owns one L1 [`SetAssocCache`]; the controller routes reads
+/// and writes, maintains MOESI states via the [`protocol`] transition
+/// functions, and counts probes. `probe_ways_per_lookup` models the L1
+/// lookup width a probe pays: full associativity for a baseline VIPT L1,
+/// one partition for SEESAW (§IV-C1).
+///
+/// # Example
+/// ```
+/// use seesaw_cache::{CacheConfig, IndexPolicy};
+/// use seesaw_coherence::{CoherenceMode, DirectoryController};
+///
+/// let cfg = CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
+/// let mut dir = DirectoryController::new(4, cfg, CoherenceMode::Directory, 8);
+/// dir.write(0, 0x100);          // core 0 owns the line
+/// dir.read(1, 0x100);           // core 1 reads: core 0 is probed
+/// assert!(dir.stats().probes_delivered >= 1);
+/// ```
+#[derive(Debug)]
+pub struct DirectoryController {
+    caches: Vec<SetAssocCache>,
+    config: CacheConfig,
+    mode: CoherenceMode,
+    probe_ways_per_lookup: usize,
+    directory: HashMap<u64, DirEntry>,
+    stats: CoherenceStats,
+}
+
+impl DirectoryController {
+    /// Creates a controller for `cores` cores with identical L1 geometry.
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero or `probe_ways_per_lookup` exceeds the
+    /// L1 associativity.
+    pub fn new(
+        cores: usize,
+        config: CacheConfig,
+        mode: CoherenceMode,
+        probe_ways_per_lookup: usize,
+    ) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(
+            probe_ways_per_lookup >= 1 && probe_ways_per_lookup <= config.ways,
+            "probe width must be within the associativity"
+        );
+        Self {
+            caches: (0..cores).map(|_| SetAssocCache::new(config)).collect(),
+            config,
+            mode,
+            probe_ways_per_lookup,
+            directory: HashMap::new(),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// Core `core` reads physical line `ptag`. Returns `true` on an L1 hit.
+    pub fn read(&mut self, core: usize, ptag: u64) -> bool {
+        let set = self.set_of(ptag);
+        let mask = WayMask::all(self.config.ways);
+        if self.caches[core].read(set, ptag, mask).hit {
+            return true;
+        }
+        // Read miss: coherence transaction.
+        self.stats.transactions += 1;
+        let sharers = self.sharers_of(ptag, core);
+        let others_have_copy = !sharers.is_empty();
+        self.deliver_probes(core, ptag, &sharers, false);
+        let (_, action) = protocol::on_local_read(MoesiState::Invalid, others_have_copy);
+        debug_assert_eq!(action, protocol::Action::FetchData);
+        let fill_state = if others_have_copy {
+            MoesiState::Shared
+        } else {
+            MoesiState::Exclusive
+        };
+        self.fill(core, set, ptag, fill_state);
+        false
+    }
+
+    /// Core `core` writes physical line `ptag`. Returns `true` on an L1
+    /// hit that needed no coherence transaction.
+    pub fn write(&mut self, core: usize, ptag: u64) -> bool {
+        let set = self.set_of(ptag);
+        let mask = WayMask::all(self.config.ways);
+        let state = self.caches[core]
+            .line_state(set, ptag)
+            .unwrap_or(MoesiState::Invalid);
+        if state.can_write_silently() {
+            self.caches[core].write(set, ptag, mask);
+            return true;
+        }
+        // Upgrade or write miss: invalidate peers.
+        self.stats.transactions += 1;
+        let sharers = self.sharers_of(ptag, core);
+        self.deliver_probes(core, ptag, &sharers, true);
+        if state.is_valid() {
+            // Upgrade in place.
+            self.caches[core].write(set, ptag, mask);
+            self.directory
+                .entry(ptag)
+                .or_default()
+                .sharers
+                .retain(|&c| c == core);
+            false
+        } else {
+            self.fill(core, set, ptag, MoesiState::Modified);
+            false
+        }
+    }
+
+    /// Probe statistics.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// The MOESI state core `core` holds for `ptag` (Invalid if absent).
+    pub fn state_of(&self, core: usize, ptag: u64) -> MoesiState {
+        self.caches[core]
+            .line_state(self.set_of_ref(ptag), ptag)
+            .unwrap_or(MoesiState::Invalid)
+    }
+
+    /// Verifies the single-writer/multiple-reader invariant for a line.
+    pub fn swmr_holds(&self, ptag: u64) -> bool {
+        let states: Vec<MoesiState> = (0..self.caches.len())
+            .map(|c| self.state_of(c, ptag))
+            .collect();
+        let exclusive = states
+            .iter()
+            .filter(|s| matches!(s, MoesiState::Modified | MoesiState::Exclusive))
+            .count();
+        let valid = states.iter().filter(|s| s.is_valid()).count();
+        let owners = states.iter().filter(|&&s| s == MoesiState::Owned).count();
+        (exclusive == 0 || valid == 1) && owners <= 1
+    }
+
+    fn set_of(&self, ptag: u64) -> usize {
+        (ptag as usize) % self.config.sets()
+    }
+
+    fn set_of_ref(&self, ptag: u64) -> usize {
+        (ptag as usize) % self.config.sets()
+    }
+
+    fn sharers_of(&self, ptag: u64, requester: usize) -> Vec<usize> {
+        match self.mode {
+            CoherenceMode::Directory => self
+                .directory
+                .get(&ptag)
+                .map(|e| {
+                    e.sharers
+                        .iter()
+                        .copied()
+                        .filter(|&c| c != requester)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            CoherenceMode::Snoopy => (0..self.caches.len()).filter(|&c| c != requester).collect(),
+        }
+    }
+
+    fn deliver_probes(&mut self, _requester: usize, ptag: u64, targets: &[usize], invalidate: bool) {
+        let set = self.set_of(ptag);
+        let probe_mask = WayMask::range(0, self.probe_ways_per_lookup);
+        // SEESAW's 4-way insertion keeps every line in a deterministic
+        // partition, so a narrow probe suffices; the baseline probes the
+        // full set. The functional model stores lines anywhere, so we use
+        // the full mask for correctness and count energy at the
+        // configured probe width.
+        let full = WayMask::all(self.config.ways);
+        for &target in targets {
+            self.stats.probes_delivered += 1;
+            self.stats.probe_ways += probe_mask.count() as u64;
+            let state = self.caches[target]
+                .line_state(set, ptag)
+                .unwrap_or(MoesiState::Invalid);
+            if invalidate {
+                let (next, action) = protocol::on_remote_write(state);
+                if state.is_valid() {
+                    if action == protocol::Action::Writeback {
+                        self.stats.writebacks += 1;
+                    }
+                    self.caches[target].coherence_probe(set, ptag, full, true);
+                    self.stats.invalidations += 1;
+                    if let Some(entry) = self.directory.get_mut(&ptag) {
+                        entry.sharers.retain(|&c| c != target);
+                    }
+                }
+                debug_assert_eq!(next, MoesiState::Invalid);
+            } else if state.is_valid() {
+                let (next, _) = protocol::on_remote_read(state);
+                self.caches[target].set_line_state(set, ptag, next);
+            }
+        }
+    }
+
+    fn fill(&mut self, core: usize, set: usize, ptag: u64, state: MoesiState) {
+        let mask = WayMask::all(self.config.ways);
+        if let Some(evicted) = self.caches[core].fill(set, ptag, mask, false) {
+            // The displaced line leaves this cache: update the directory.
+            if let Some(entry) = self.directory.get_mut(&evicted.ptag) {
+                entry.sharers.retain(|&c| c != core);
+            }
+        }
+        self.caches[core].set_line_state(set, ptag, state);
+        let entry = self.directory.entry(ptag).or_default();
+        if !entry.sharers.contains(&core) {
+            entry.sharers.push(core);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_cache::IndexPolicy;
+
+    fn controller(mode: CoherenceMode) -> DirectoryController {
+        let cfg = CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
+        DirectoryController::new(4, cfg, mode, 8)
+    }
+
+    #[test]
+    fn first_read_fills_exclusive() {
+        let mut dir = controller(CoherenceMode::Directory);
+        assert!(!dir.read(0, 0x42));
+        assert_eq!(dir.state_of(0, 0x42), MoesiState::Exclusive);
+        assert!(dir.read(0, 0x42), "second read hits");
+    }
+
+    #[test]
+    fn second_reader_downgrades_to_shared() {
+        let mut dir = controller(CoherenceMode::Directory);
+        dir.read(0, 0x42);
+        dir.read(1, 0x42);
+        assert_eq!(dir.state_of(0, 0x42), MoesiState::Shared);
+        assert_eq!(dir.state_of(1, 0x42), MoesiState::Shared);
+        assert!(dir.swmr_holds(0x42));
+    }
+
+    #[test]
+    fn remote_read_of_dirty_line_moves_to_owned() {
+        let mut dir = controller(CoherenceMode::Directory);
+        dir.write(0, 0x42);
+        assert_eq!(dir.state_of(0, 0x42), MoesiState::Modified);
+        dir.read(1, 0x42);
+        assert_eq!(dir.state_of(0, 0x42), MoesiState::Owned);
+        assert_eq!(dir.state_of(1, 0x42), MoesiState::Shared);
+        assert!(dir.swmr_holds(0x42));
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut dir = controller(CoherenceMode::Directory);
+        for core in 0..3 {
+            dir.read(core, 0x99);
+        }
+        dir.write(3, 0x99);
+        for core in 0..3 {
+            assert_eq!(dir.state_of(core, 0x99), MoesiState::Invalid);
+        }
+        assert_eq!(dir.state_of(3, 0x99), MoesiState::Modified);
+        assert_eq!(dir.stats().invalidations, 3);
+        assert!(dir.swmr_holds(0x99));
+    }
+
+    #[test]
+    fn upgrade_from_shared_invalidates_peers() {
+        let mut dir = controller(CoherenceMode::Directory);
+        dir.read(0, 0x7);
+        dir.read(1, 0x7);
+        assert!(!dir.write(0, 0x7), "upgrade is a coherence transaction");
+        assert_eq!(dir.state_of(0, 0x7), MoesiState::Modified);
+        assert_eq!(dir.state_of(1, 0x7), MoesiState::Invalid);
+        assert!(dir.swmr_holds(0x7));
+    }
+
+    #[test]
+    fn remote_write_to_dirty_line_forces_writeback() {
+        let mut dir = controller(CoherenceMode::Directory);
+        dir.write(0, 0x11);
+        dir.write(1, 0x11);
+        assert_eq!(dir.stats().writebacks, 1);
+        assert_eq!(dir.state_of(0, 0x11), MoesiState::Invalid);
+    }
+
+    #[test]
+    fn directory_probes_only_sharers() {
+        let mut dir = controller(CoherenceMode::Directory);
+        dir.read(0, 0x1);
+        dir.read(1, 0x1); // probes core 0 only
+        let directory_probes = dir.stats().probes_delivered;
+
+        let mut snoop = controller(CoherenceMode::Snoopy);
+        snoop.read(0, 0x1);
+        snoop.read(1, 0x1); // broadcasts to cores 0, 2, 3
+        let snoopy_probes = snoop.stats().probes_delivered;
+        assert!(
+            snoopy_probes > directory_probes,
+            "snoopy ({snoopy_probes}) must probe more than directory ({directory_probes})"
+        );
+    }
+
+    #[test]
+    fn probe_ways_reflect_lookup_width() {
+        let cfg = CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
+        let mut baseline = DirectoryController::new(2, cfg, CoherenceMode::Directory, 8);
+        let mut seesaw = DirectoryController::new(2, cfg, CoherenceMode::Directory, 4);
+        for dir in [&mut baseline, &mut seesaw] {
+            dir.read(0, 0x5);
+            dir.write(1, 0x5);
+        }
+        assert_eq!(baseline.stats().probe_ways, 8);
+        assert_eq!(seesaw.stats().probe_ways, 4);
+    }
+
+    #[test]
+    fn swmr_holds_under_random_traffic() {
+        let mut dir = controller(CoherenceMode::Directory);
+        let mut seed = 0xc0ffee_u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed >> 33
+        };
+        for _ in 0..5000 {
+            let core = (next() % 4) as usize;
+            let ptag = next() % 32;
+            if next() % 2 == 0 {
+                dir.read(core, ptag);
+            } else {
+                dir.write(core, ptag);
+            }
+        }
+        for ptag in 0..32 {
+            assert!(dir.swmr_holds(ptag), "SWMR violated for line {ptag}");
+        }
+    }
+}

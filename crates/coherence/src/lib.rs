@@ -1,0 +1,28 @@
+//! Cache-coherence substrate for the SEESAW reproduction.
+//!
+//! The paper's target system keeps L1 caches coherent with a MOESI
+//! directory protocol (Table II) and attributes a significant slice of
+//! SEESAW's energy savings to cheaper coherence lookups (§IV-C1, Fig. 11):
+//! coherence probes carry physical addresses, so with SEESAW's uniform
+//! 4-way insertion policy *every* probe — superpage or base page — needs
+//! to check only one partition.
+//!
+//! Three pieces live here:
+//!
+//! * [`protocol`] — the MOESI state machine itself;
+//! * [`DirectoryController`] — a functional multi-core directory
+//!   (plus a snoopy broadcast variant) over real L1 cache arrays;
+//! * [`CoherenceTraffic`] — a calibrated probe-rate generator used by the
+//!   single-core timing simulations to model probes arriving from other
+//!   cores and from system-level activity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+
+mod directory;
+mod traffic;
+
+pub use directory::{CoherenceMode, CoherenceStats, DirectoryController};
+pub use traffic::{CoherenceTraffic, CoherenceTrafficConfig, Probe};

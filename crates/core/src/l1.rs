@@ -1,0 +1,633 @@
+//! The SEESAW L1 data cache (§IV, Fig. 4, Table I).
+
+use seesaw_cache::{
+    CacheConfig, CacheStats, IndexPolicy, MoesiState, MruWayPredictor, SetAssocCache, WayMask,
+};
+use seesaw_mem::{PageSize, PageTableOp, PhysAddr, VirtAddr};
+
+use crate::{
+    InsertionPolicy, L1AccessOutcome, L1DataCache, L1Request, L1Timing, LookupCase,
+    PartitionDecoder, TftStats, TranslationFilterTable,
+};
+
+/// Configuration of a SEESAW L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeesawConfig {
+    /// The underlying VIPT geometry (64 sets for all paper configs).
+    pub cache: CacheConfig,
+    /// Partition count (ways / 4 in the paper: 4-way, 16 KB partitions).
+    pub partitions: usize,
+    /// TFT entries (16 in the paper; Fig. 13 sweeps 12–20).
+    pub tft_entries: usize,
+    /// Insertion policy (`FourWay` in the paper).
+    pub insertion: InsertionPolicy,
+    /// Attach an MRU way predictor (the WP+SEESAW design of Fig. 15).
+    pub way_prediction: bool,
+}
+
+impl SeesawConfig {
+    /// The paper's example 32 KB, 8-way design with two 4-way partitions.
+    pub fn l1_32k() -> Self {
+        Self::with_size_kb(32)
+    }
+
+    /// The 64 KB, 16-way design with four partitions.
+    pub fn l1_64k() -> Self {
+        Self::with_size_kb(64)
+    }
+
+    /// The 128 KB, 32-way design with eight partitions.
+    pub fn l1_128k() -> Self {
+        Self::with_size_kb(128)
+    }
+
+    /// A SEESAW design of `size_kb` KB: 64 sets, 64 B lines, enough ways
+    /// to reach the capacity, 4-way partitions (§IV-B4).
+    ///
+    /// # Panics
+    /// Panics if `size_kb` doesn't yield a whole number of 4-way
+    /// partitions over 64 sets.
+    pub fn with_size_kb(size_kb: u64) -> Self {
+        let ways = (size_kb << 10) / (64 * 64);
+        assert!(ways >= 8 && ways.is_multiple_of(4), "unsupported geometry");
+        Self {
+            cache: CacheConfig::new(size_kb << 10, ways as usize, 64, IndexPolicy::Vipt),
+            partitions: (ways / 4) as usize,
+            tft_entries: 16,
+            insertion: InsertionPolicy::FourWay,
+            way_prediction: false,
+        }
+    }
+
+    /// Returns a copy with way prediction attached.
+    pub fn with_way_prediction(mut self) -> Self {
+        self.way_prediction = true;
+        self
+    }
+
+    /// Returns a copy with a different TFT size (Fig. 13's sweep).
+    pub fn with_tft_entries(mut self, entries: usize) -> Self {
+        self.tft_entries = entries;
+        self
+    }
+
+    /// Returns a copy with a different partition count (§IV-B4's
+    /// ways-per-partition design sweep).
+    ///
+    /// # Panics
+    /// Panics (at [`SeesawL1::new`]) unless the count divides the ways
+    /// and keeps the partition bits inside a 2 MB page offset.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Returns a copy with the `4way-8way` insertion ablation.
+    pub fn with_insertion(mut self, insertion: InsertionPolicy) -> Self {
+        self.insertion = insertion;
+        self
+    }
+}
+
+/// SEESAW-specific counters (on top of the cache array's [`CacheStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeesawStats {
+    /// Table I case: superpage, TFT hit, cache hit.
+    pub super_tft_hit_cache_hit: u64,
+    /// Table I case: superpage, TFT hit, cache miss.
+    pub super_tft_hit_cache_miss: u64,
+    /// Table I case: superpage access the TFT missed.
+    pub super_tft_miss: u64,
+    /// Table I case: base-page access.
+    pub base_page: u64,
+    /// Among [`SeesawStats::super_tft_miss`], how many also missed the L1
+    /// (Fig. 13's red bars — the misses that don't hurt, because the L2
+    /// trip dwarfs the extra partition probe).
+    pub super_tft_miss_l1_miss: u64,
+    /// Promotion sweeps executed.
+    pub sweeps: u64,
+    /// Lines evicted by promotion sweeps.
+    pub swept_lines: u64,
+}
+
+impl SeesawStats {
+    /// Fieldwise difference versus an earlier snapshot.
+    pub fn delta(&self, earlier: &SeesawStats) -> SeesawStats {
+        SeesawStats {
+            super_tft_hit_cache_hit: self.super_tft_hit_cache_hit
+                - earlier.super_tft_hit_cache_hit,
+            super_tft_hit_cache_miss: self.super_tft_hit_cache_miss
+                - earlier.super_tft_hit_cache_miss,
+            super_tft_miss: self.super_tft_miss - earlier.super_tft_miss,
+            base_page: self.base_page - earlier.base_page,
+            super_tft_miss_l1_miss: self.super_tft_miss_l1_miss
+                - earlier.super_tft_miss_l1_miss,
+            sweeps: self.sweeps - earlier.sweeps,
+            swept_lines: self.swept_lines - earlier.swept_lines,
+        }
+    }
+
+    /// Fraction of superpage accesses the TFT failed to identify
+    /// (Fig. 13's metric).
+    pub fn tft_miss_fraction_of_super(&self) -> f64 {
+        let supers =
+            self.super_tft_hit_cache_hit + self.super_tft_hit_cache_miss + self.super_tft_miss;
+        if supers == 0 {
+            0.0
+        } else {
+            self.super_tft_miss as f64 / supers as f64
+        }
+    }
+}
+
+/// The SEESAW L1 data cache.
+///
+/// See the crate-level example for typical use. Drive [`SeesawL1::tft_fill`]
+/// from the TLB hierarchy's superpage-fill events and
+/// [`SeesawL1::handle_op`] from page-table operations; call
+/// [`SeesawL1::context_switch`] when the core switches address spaces.
+#[derive(Debug, Clone)]
+pub struct SeesawL1 {
+    config: SeesawConfig,
+    timing: L1Timing,
+    cache: SetAssocCache,
+    tft: TranslationFilterTable,
+    decoder: PartitionDecoder,
+    waypred: Option<MruWayPredictor>,
+    stats: SeesawStats,
+}
+
+impl SeesawL1 {
+    /// Builds a SEESAW L1.
+    pub fn new(config: SeesawConfig, timing: L1Timing) -> Self {
+        let decoder = PartitionDecoder::new(
+            config.cache.sets(),
+            config.cache.ways,
+            config.cache.line_bytes,
+            config.partitions,
+        );
+        let waypred = config
+            .way_prediction
+            .then(|| MruWayPredictor::new(config.cache.sets(), config.partitions));
+        Self {
+            cache: SetAssocCache::new(config.cache),
+            tft: TranslationFilterTable::new(config.tft_entries),
+            decoder,
+            waypred,
+            config,
+            timing,
+            stats: SeesawStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SeesawConfig {
+        &self.config
+    }
+
+    /// The partition decoder.
+    pub fn decoder(&self) -> &PartitionDecoder {
+        &self.decoder
+    }
+
+    /// Trains the TFT with a superpage region (wired to the 2 MB L1 TLB's
+    /// fill events, Fig. 5 step 8).
+    pub fn tft_fill(&mut self, va: VirtAddr) {
+        self.tft.fill(va);
+    }
+
+    /// Reacts to a page-table operation: TFT invalidation on splintering
+    /// and the L1 sweep on promotion (§IV-C2). Returns the cycles the
+    /// operation stalls the core (the paper hides the sweep inside the
+    /// 150–200-cycle TLB-shootdown window, so only sweeps report cost).
+    pub fn handle_op(&mut self, op: &PageTableOp) -> u64 {
+        match op {
+            PageTableOp::Mapped(_) => 0,
+            PageTableOp::Unmapped(page) | PageTableOp::Splintered(page) => {
+                if page.size() == PageSize::Super2M {
+                    self.tft.invalidate(*page);
+                }
+                0
+            }
+            PageTableOp::Promoted { old_frames, .. } => {
+                // Evict every line belonging to the invalidated base pages.
+                let mut frame_lines: Vec<(u64, u64)> = old_frames
+                    .iter()
+                    .map(|f| {
+                        let first = f.base().raw() / self.config.cache.line_bytes;
+                        let count = f.size().bytes() / self.config.cache.line_bytes;
+                        (first, first + count)
+                    })
+                    .collect();
+                frame_lines.sort_unstable();
+                let evicted = self.cache.sweep(|ptag| {
+                    frame_lines
+                        .binary_search_by(|&(lo, hi)| {
+                            if ptag < lo {
+                                std::cmp::Ordering::Greater
+                            } else if ptag >= hi {
+                                std::cmp::Ordering::Less
+                            } else {
+                                std::cmp::Ordering::Equal
+                            }
+                        })
+                        .is_ok()
+                });
+                self.stats.sweeps += 1;
+                self.stats.swept_lines += evicted.len() as u64;
+                // "We have found 150-200 cycles ample to perform a full
+                // cache sweep" — hidden under the TLB invalidation the OS
+                // already pays for, so no *additional* stall.
+                0
+            }
+        }
+    }
+
+    /// Flushes the TFT on a context switch (no ASID tags, §IV-C3).
+    pub fn context_switch(&mut self) {
+        self.tft.flush();
+    }
+
+    /// TFT counters.
+    pub fn tft_stats(&self) -> TftStats {
+        self.tft.stats()
+    }
+
+    /// SEESAW-specific counters.
+    pub fn seesaw_stats(&self) -> SeesawStats {
+        self.stats
+    }
+
+    /// Way-predictor accuracy, if one is attached.
+    pub fn way_prediction_accuracy(&self) -> Option<f64> {
+        self.waypred.as_ref().map(|wp| wp.accuracy())
+    }
+
+    fn ptag(&self, pa: PhysAddr) -> u64 {
+        self.config.cache.line_of(pa)
+    }
+}
+
+impl L1DataCache for SeesawL1 {
+    fn access(&mut self, req: &L1Request) -> L1AccessOutcome {
+        let set = self.config.cache.set_index(req.va, None);
+        let p_va = self.decoder.partition_of_va(req.va);
+        let ptag = self.ptag(req.pa);
+        let tft_hit = self.tft.lookup(req.va);
+        // The TFT is kept precise by invalidation/flush, so a hit proves a
+        // superpage access.
+        debug_assert!(
+            !tft_hit || req.page_size.is_superpage(),
+            "TFT must never claim a base page is a superpage"
+        );
+
+        let (lookup_mask, latency, case, fast_held) = if tft_hit {
+            // Partition lookup only (Table I rows 1-2).
+            (
+                self.decoder.mask_of(p_va),
+                self.timing.fast_cycles,
+                LookupCase::SuperTftHitCacheHit, // refined below on miss
+                true,
+            )
+        } else {
+            // Conservative full-set lookup (Table I rows 3-4).
+            let case = if req.page_size.is_superpage() {
+                LookupCase::SuperTftMiss
+            } else {
+                LookupCase::BasePage
+            };
+            (self.decoder.full_mask(), self.timing.slow_cycles, case, false)
+        };
+
+        // Optional way prediction inside the presented mask (§IV-B2).
+        let mut latency = latency;
+        let mut way_prediction_correct = None;
+        let result = if let Some(wp) = self.waypred.as_mut() {
+            let predicted = wp.predict(set, p_va).filter(|&w| lookup_mask.contains(w));
+            match predicted {
+                Some(w) if self.cache.peek(set, ptag, WayMask::single(w)).is_some() => {
+                    way_prediction_correct = Some(true);
+                    self.cache.read(set, ptag, WayMask::single(w))
+                }
+                Some(_) => {
+                    // Mispredict: a second, full-mask probe round.
+                    way_prediction_correct = Some(false);
+                    latency += if tft_hit {
+                        self.timing.fast_cycles
+                    } else {
+                        self.timing.slow_cycles
+                    };
+                    self.cache.read(set, ptag, lookup_mask)
+                }
+                None => self.cache.read(set, ptag, lookup_mask),
+            }
+        } else {
+            self.cache.read(set, ptag, lookup_mask)
+        };
+
+        let mut case = case;
+        let mut evicted = None;
+        if result.hit {
+            if req.is_write {
+                // The probe above already found and touched the line; just
+                // upgrade its state (no extra probe, no extra counters).
+                self.cache.set_line_state(set, ptag, MoesiState::Modified);
+            }
+            if let (Some(wp), Some(w)) = (self.waypred.as_mut(), result.way) {
+                wp.update(set, p_va, w);
+            }
+        } else {
+            if case == LookupCase::SuperTftHitCacheHit {
+                case = LookupCase::SuperTftHitCacheMiss;
+            }
+            if case == LookupCase::SuperTftMiss {
+                self.stats.super_tft_miss_l1_miss += 1;
+            }
+            let p_pa = self.decoder.partition_of_pa(req.pa);
+            debug_assert!(
+                !req.page_size.is_superpage() || p_pa == p_va,
+                "superpage partition bits must match between VA and PA"
+            );
+            let victim_mask =
+                self.config
+                    .insertion
+                    .victim_mask(&self.decoder, p_pa, req.page_size.is_superpage());
+            evicted = self.cache.fill(set, ptag, victim_mask, req.is_write);
+            if let Some(wp) = self.waypred.as_mut() {
+                if let Some(w) = self.cache.resident_way(set, ptag) {
+                    wp.update(set, p_va, w);
+                }
+            }
+        }
+
+        match case {
+            LookupCase::SuperTftHitCacheHit => self.stats.super_tft_hit_cache_hit += 1,
+            LookupCase::SuperTftHitCacheMiss => self.stats.super_tft_hit_cache_miss += 1,
+            LookupCase::SuperTftMiss => self.stats.super_tft_miss += 1,
+            LookupCase::BasePage => self.stats.base_page += 1,
+            LookupCase::Conventional => unreachable!("SEESAW access is never Conventional"),
+        }
+
+        L1AccessOutcome {
+            hit: result.hit,
+            latency_cycles: latency,
+            ways_probed: result.ways_probed,
+            case,
+            tft_hit: Some(tft_hit),
+            evicted,
+            fast_assumption_held: fast_held,
+            way_prediction_correct,
+        }
+    }
+
+    fn coherence_probe(&mut self, pa: PhysAddr, invalidate: bool) -> (bool, usize) {
+        let set = self.config.cache.set_index_physical(pa);
+        let ptag = self.ptag(pa);
+        // The 4way insertion policy pins every line to its physical
+        // partition, so every coherence probe is narrow (§IV-C1).
+        let mask = if self.config.insertion.lines_are_partition_deterministic() {
+            self.decoder.mask_of(self.decoder.partition_of_pa(pa))
+        } else {
+            self.decoder.full_mask()
+        };
+        let present = self.cache.coherence_probe(set, ptag, mask, invalidate);
+        (present.is_some(), mask.count())
+    }
+
+    fn total_ways(&self) -> usize {
+        self.config.cache.ways
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> L1Timing {
+        L1Timing {
+            fast_cycles: 1,
+            slow_cycles: 2,
+        }
+    }
+
+    /// A superpage request: PA shares VA's low 21 bits.
+    fn super_req(va: u64, is_write: bool) -> L1Request {
+        let frame = 0x1fa0_0000u64;
+        L1Request {
+            va: VirtAddr::new(va),
+            pa: PhysAddr::new(frame | (va & 0x1f_ffff)),
+            page_size: PageSize::Super2M,
+            is_write,
+        }
+    }
+
+    /// A base-page request whose partition bit flips between VA and PA.
+    fn base_req_flipped(va: u64) -> L1Request {
+        let pa = (0x8_0000u64 | (va & 0xfff)) ^ 0x1000;
+        L1Request {
+            va: VirtAddr::new(va),
+            pa: PhysAddr::new(pa),
+            page_size: PageSize::Base4K,
+            is_write: false,
+        }
+    }
+
+    #[test]
+    fn table_i_row_1_super_tft_hit_cache_hit() {
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let req = super_req(0x4000_1040, false);
+        l1.tft_fill(req.va);
+        l1.access(&req); // fill
+        let out = l1.access(&req);
+        assert!(out.hit);
+        assert_eq!(out.case, LookupCase::SuperTftHitCacheHit);
+        assert_eq!(out.latency_cycles, 1, "fast hit");
+        assert_eq!(out.ways_probed, 4, "one partition");
+        assert!(out.fast_assumption_held);
+        assert_eq!(out.tft_hit, Some(true));
+    }
+
+    #[test]
+    fn table_i_row_2_super_tft_hit_cache_miss() {
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let req = super_req(0x4000_1040, false);
+        l1.tft_fill(req.va);
+        let out = l1.access(&req);
+        assert!(!out.hit);
+        assert_eq!(out.case, LookupCase::SuperTftHitCacheMiss);
+        assert_eq!(out.ways_probed, 4, "energy saved even on the miss");
+    }
+
+    #[test]
+    fn table_i_row_3_super_tft_miss_probes_everything() {
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let req = super_req(0x4000_1040, false);
+        let out = l1.access(&req);
+        assert_eq!(out.case, LookupCase::SuperTftMiss);
+        assert_eq!(out.ways_probed, 8);
+        assert_eq!(out.latency_cycles, 2, "base-page timing");
+        assert!(!out.fast_assumption_held);
+        assert_eq!(l1.seesaw_stats().super_tft_miss_l1_miss, 1);
+    }
+
+    #[test]
+    fn table_i_row_4_base_page_is_conventional_vipt() {
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let req = base_req_flipped(0x7000_1040);
+        let out = l1.access(&req);
+        assert_eq!(out.case, LookupCase::BasePage);
+        assert_eq!(out.ways_probed, 8);
+        assert_eq!(out.latency_cycles, 2);
+        let again = l1.access(&req);
+        assert!(again.hit, "base pages still cache normally");
+    }
+
+    #[test]
+    fn base_page_line_lands_in_physical_partition() {
+        // VA names partition 1, PA names partition 0: the 4way policy must
+        // insert into partition 0 so coherence can find it narrowly.
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let req = base_req_flipped(0x7000_1040); // VA bit12=1, PA bit12=0
+        l1.access(&req);
+        let (present, ways) = l1.coherence_probe(req.pa, false);
+        assert!(present, "narrow coherence probe must find the line");
+        assert_eq!(ways, 4);
+    }
+
+    #[test]
+    fn coherence_probes_are_narrow_for_all_pages() {
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let sup = super_req(0x4000_2040, true);
+        l1.tft_fill(sup.va);
+        l1.access(&sup);
+        let (present, ways) = l1.coherence_probe(sup.pa, true);
+        assert!(present);
+        assert_eq!(ways, 4);
+        // Invalidation took effect.
+        let (present, _) = l1.coherence_probe(sup.pa, false);
+        assert!(!present);
+    }
+
+    #[test]
+    fn four_eight_way_ablation_widens_coherence() {
+        let cfg = SeesawConfig::l1_32k().with_insertion(InsertionPolicy::FourWayEightWay);
+        let mut l1 = SeesawL1::new(cfg, timing());
+        let (_present, ways) = l1.coherence_probe(PhysAddr::new(0x1000), false);
+        assert_eq!(ways, 8, "4way-8way cannot narrow coherence probes");
+    }
+
+    #[test]
+    fn splinter_invalidates_tft_and_slows_the_region() {
+        use seesaw_mem::VirtPage;
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let req = super_req(0x4000_1040, false);
+        l1.tft_fill(req.va);
+        l1.access(&req);
+        let page = VirtPage::containing(req.va, PageSize::Super2M);
+        l1.handle_op(&PageTableOp::Splintered(page));
+        // After splintering the same data is a base-page access; the TFT
+        // must miss. Physical address unchanged (splinter moves no data).
+        let base = L1Request {
+            page_size: PageSize::Base4K,
+            ..req
+        };
+        let out = l1.access(&base);
+        assert_eq!(out.tft_hit, Some(false));
+        assert!(out.hit, "line is still cached and still found");
+        assert_eq!(out.ways_probed, 8);
+    }
+
+    #[test]
+    fn promotion_sweep_evicts_old_frames() {
+        use seesaw_mem::{PageFrame, VirtPage};
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        // Cache a base-page line in the to-be-promoted frame.
+        let old_frame = PageFrame::new(PhysAddr::new(0x8000), PageSize::Base4K);
+        let req = L1Request {
+            va: VirtAddr::new(0x7000_0040),
+            pa: PhysAddr::new(0x8040),
+            page_size: PageSize::Base4K,
+            is_write: true,
+        };
+        l1.access(&req);
+        let op = PageTableOp::Promoted {
+            page: VirtPage::containing(req.va, PageSize::Super2M),
+            old_frames: vec![old_frame],
+        };
+        l1.handle_op(&op);
+        assert_eq!(l1.seesaw_stats().sweeps, 1);
+        assert_eq!(l1.seesaw_stats().swept_lines, 1);
+        let (present, _) = l1.coherence_probe(req.pa, false);
+        assert!(!present, "stale line must be gone after the sweep");
+    }
+
+    #[test]
+    fn context_switch_flushes_tft() {
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let req = super_req(0x4000_1040, false);
+        l1.tft_fill(req.va);
+        l1.context_switch();
+        let out = l1.access(&req);
+        assert_eq!(out.tft_hit, Some(false));
+        assert_eq!(l1.tft_stats().flushes, 1);
+    }
+
+    #[test]
+    fn way_prediction_narrows_hits_and_pays_on_misses() {
+        let cfg = SeesawConfig::l1_32k().with_way_prediction();
+        let mut l1 = SeesawL1::new(cfg, timing());
+        let req = super_req(0x4000_1040, false);
+        l1.tft_fill(req.va);
+        l1.access(&req); // fill, trains predictor
+        let out = l1.access(&req);
+        assert_eq!(out.way_prediction_correct, Some(true));
+        assert_eq!(out.ways_probed, 1, "correct prediction probes one way");
+        assert_eq!(out.latency_cycles, 1);
+        // A conflicting line in the same set+partition retrains; the next
+        // access to the first line mispredicts.
+        let other = super_req(0x4000_1040 + (32 << 10), false);
+        l1.tft_fill(other.va);
+        l1.access(&other);
+        let out = l1.access(&req);
+        assert_eq!(out.way_prediction_correct, Some(false));
+        assert_eq!(out.latency_cycles, 2, "mispredict pays a second round");
+    }
+
+    #[test]
+    fn insertion_keeps_partition_pressure_local() {
+        // Fill partition 0 of one set with 5 superpage lines: the 5th
+        // evicts from partition 0, never partition 1.
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let in_other_partition = super_req(0x4000_1040, false); // bit12=1
+        l1.tft_fill(in_other_partition.va);
+        l1.access(&in_other_partition);
+        for i in 0..5u64 {
+            let req = super_req(0x4000_0040 + i * (2 << 20) * 16, false);
+            // Same set (bits 11:6 = 1), partition 0 (bit 12 = 0).
+            l1.tft_fill(req.va);
+            l1.access(&req);
+        }
+        let out = l1.access(&in_other_partition);
+        assert!(out.hit, "partition 1 line must survive partition 0 churn");
+    }
+
+    #[test]
+    fn stats_report_case_mix() {
+        let mut l1 = SeesawL1::new(SeesawConfig::l1_32k(), timing());
+        let s = super_req(0x4000_1040, false);
+        let b = base_req_flipped(0x7000_2040);
+        l1.access(&s); // TFT miss
+        l1.tft_fill(s.va);
+        l1.access(&s); // TFT hit, cache hit
+        l1.access(&b); // base page
+        let st = l1.seesaw_stats();
+        assert_eq!(st.super_tft_miss, 1);
+        assert_eq!(st.super_tft_hit_cache_hit, 1);
+        assert_eq!(st.base_page, 1);
+        assert!((st.tft_miss_fraction_of_super() - 0.5).abs() < 1e-12);
+    }
+}

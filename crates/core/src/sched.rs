@@ -1,0 +1,90 @@
+//! The out-of-order scheduler interaction (§IV-B3).
+//!
+//! SEESAW's hit latency is variable: fast for TFT-confirmed superpage
+//! accesses, slow otherwise. An out-of-order scheduler speculatively wakes
+//! dependents assuming a hit time; a wrong assumption squashes and
+//! replays them. SEESAW's scheduler assumes the *fast* time by default —
+//! but when superpages are scarce (few valid 2 MB TLB entries), it flips
+//! to the *slow* assumption to avoid squash storms. The paper sets the
+//! flip threshold at a quarter of the superpage-TLB capacity.
+
+/// Which hit time the scheduler assumes when issuing dependents of a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitTimeAssumption {
+    /// Assume the fast (superpage) hit time; squash if the access turns
+    /// out slow.
+    Fast,
+    /// Assume the slow (base-page) hit time; fast hits simply complete
+    /// early (no squash, but no latency benefit either).
+    Slow,
+}
+
+/// The occupancy-driven assumption selector.
+///
+/// # Example
+/// ```
+/// use seesaw_core::{HitTimeAssumption, SchedulerHint};
+/// let hint = SchedulerHint::default();
+/// // 2 of 16 superpage-TLB entries valid → below ¼ → assume slow.
+/// assert_eq!(hint.assumption(2, 16), HitTimeAssumption::Slow);
+/// // 8 of 16 → assume fast.
+/// assert_eq!(hint.assumption(8, 16), HitTimeAssumption::Fast);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerHint {
+    /// Assume fast while `valid_entries >= threshold_fraction × capacity`.
+    pub threshold_fraction: f64,
+}
+
+impl Default for SchedulerHint {
+    fn default() -> Self {
+        // "setting the threshold of the counter to a quarter of the number
+        // of superpage TLB entries achieves good performance".
+        Self {
+            threshold_fraction: 0.25,
+        }
+    }
+}
+
+impl SchedulerHint {
+    /// Picks the assumption from the superpage TLB's occupancy counter.
+    pub fn assumption(&self, valid_entries: usize, capacity: usize) -> HitTimeAssumption {
+        if capacity == 0 {
+            return HitTimeAssumption::Slow;
+        }
+        if (valid_entries as f64) >= self.threshold_fraction * capacity as f64 {
+            HitTimeAssumption::Fast
+        } else {
+            HitTimeAssumption::Slow
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarter_threshold_boundary() {
+        let hint = SchedulerHint::default();
+        assert_eq!(hint.assumption(3, 16), HitTimeAssumption::Slow);
+        assert_eq!(hint.assumption(4, 16), HitTimeAssumption::Fast);
+        assert_eq!(hint.assumption(16, 16), HitTimeAssumption::Fast);
+        assert_eq!(hint.assumption(0, 16), HitTimeAssumption::Slow);
+    }
+
+    #[test]
+    fn zero_capacity_is_always_slow() {
+        let hint = SchedulerHint::default();
+        assert_eq!(hint.assumption(0, 0), HitTimeAssumption::Slow);
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let hint = SchedulerHint {
+            threshold_fraction: 0.5,
+        };
+        assert_eq!(hint.assumption(7, 16), HitTimeAssumption::Slow);
+        assert_eq!(hint.assumption(8, 16), HitTimeAssumption::Fast);
+    }
+}

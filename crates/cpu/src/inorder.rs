@@ -1,0 +1,131 @@
+//! The in-order core (~Intel Atom, Table II: dual-issue, 16-stage
+//! pipeline).
+
+use crate::CpuModel;
+
+/// A dual-issue in-order core: non-memory instructions retire at the
+/// issue width; every cycle of memory latency is exposed, because "L1
+/// cache access latency cannot be overlapped with useful work via
+/// out-of-order techniques" (§VI-A).
+#[derive(Debug, Clone)]
+pub struct InOrderCpu {
+    issue_width: u64,
+    pipeline_depth: u64,
+    cycles: u64,
+    instructions: u64,
+    squashes: u64,
+    /// Fractional issue cycles carried between calls.
+    issue_carry: f64,
+    started: bool,
+}
+
+impl InOrderCpu {
+    /// The paper's Atom-like configuration.
+    pub fn atom() -> Self {
+        Self::new(2, 16)
+    }
+
+    /// A custom in-order core.
+    ///
+    /// # Panics
+    /// Panics if `issue_width` is zero.
+    pub fn new(issue_width: u64, pipeline_depth: u64) -> Self {
+        assert!(issue_width > 0, "issue width must be positive");
+        Self {
+            issue_width,
+            pipeline_depth,
+            cycles: 0,
+            instructions: 0,
+            squashes: 0,
+            issue_carry: 0.0,
+            started: false,
+        }
+    }
+}
+
+impl CpuModel for InOrderCpu {
+    fn retire(&mut self, gap: u64, load_latency: u64, squash_cycles: u64) {
+        if !self.started {
+            // Pipeline fill at the start of the run.
+            self.cycles += self.pipeline_depth;
+            self.started = true;
+        }
+        // Non-memory instructions at the issue width (fractional cycles
+        // accumulate so dual-issue really halves their cost).
+        self.issue_carry += gap as f64 / self.issue_width as f64;
+        let whole = self.issue_carry as u64;
+        self.issue_carry -= whole as f64;
+        self.cycles += whole;
+        // The memory reference: issue (1 cycle, amortized into latency)
+        // plus its fully exposed latency.
+        self.cycles += load_latency.max(1);
+        if squash_cycles > 0 {
+            // An in-order pipeline restarts the dependent issue group.
+            self.squashes += 1;
+            self.cycles += squash_cycles;
+        }
+        self.instructions += gap + 1;
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    fn squashes(&self) -> u64 {
+        self.squashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_latency_is_fully_exposed() {
+        let mut fast = InOrderCpu::atom();
+        let mut slow = InOrderCpu::atom();
+        for _ in 0..1000 {
+            fast.retire(2, 1, 0);
+            slow.retire(2, 2, 0);
+        }
+        assert_eq!(
+            slow.cycles() - fast.cycles(),
+            1000,
+            "each extra latency cycle costs one cycle"
+        );
+    }
+
+    #[test]
+    fn dual_issue_halves_alu_cost() {
+        let mut cpu = InOrderCpu::atom();
+        for _ in 0..1000 {
+            cpu.retire(4, 1, 0);
+        }
+        // 16 (fill) + 1000 × (4/2 + 1) = 16 + 3000.
+        assert_eq!(cpu.cycles(), 16 + 3000);
+        assert_eq!(cpu.instructions(), 5000);
+    }
+
+    #[test]
+    fn squashes_add_the_requested_penalty() {
+        let mut clean = InOrderCpu::atom();
+        let mut squashy = InOrderCpu::atom();
+        for _ in 0..100 {
+            clean.retire(0, 2, 0);
+            squashy.retire(0, 2, 2);
+        }
+        assert_eq!(squashy.cycles() - clean.cycles(), 200);
+        assert_eq!(squashy.squashes(), 100);
+    }
+
+    #[test]
+    fn zero_latency_loads_still_cost_issue() {
+        let mut cpu = InOrderCpu::new(1, 0);
+        cpu.retire(0, 0, 0);
+        assert_eq!(cpu.cycles(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! The out-of-order core (~Intel Sandybridge, Table II: 168-entry ROB,
+//! 54-entry scheduler).
+//!
+//! A trace-driven interval model: non-memory instructions retire at the
+//! issue width, and each memory reference exposes only part of its
+//! latency — the scheduler hides up to a window's worth of cycles under
+//! independent work, but the fraction of a load's latency that sits on a
+//! dependence chain (pointer chasing, address generation) is exposed no
+//! matter what. Long-latency misses overflow the window and expose their
+//! tail fully. Mis-assumed hit times squash and replay dependents for a
+//! fixed penalty (§IV-B3).
+
+use crate::CpuModel;
+
+/// The out-of-order timing model.
+#[derive(Debug, Clone)]
+pub struct OooCpu {
+    issue_width: u64,
+    /// Cycles of latency the scheduler can hide under independent work,
+    /// ≈ scheduler entries / issue width.
+    window_cycles: u64,
+    /// Scales how much in-window latency dependence chains expose.
+    dependence_fraction: f64,
+    /// Recommended cycles to charge for a full mis-speculated-hit replay
+    /// (see [`OooCpu::miss_squash_cycles`]).
+    squash_penalty: u64,
+    cycles: u64,
+    instructions: u64,
+    squashes: u64,
+    issue_carry: f64,
+    latency_carry: f64,
+}
+
+impl OooCpu {
+    /// The paper's Sandybridge-like configuration: 4-wide issue, 54-entry
+    /// scheduler backed by a 168-entry ROB. The effective hiding window
+    /// (≈25 cycles) sits between the scheduler-bound and ROB-bound
+    /// extremes: L1/L2 hit latencies are largely overlappable, LLC trips
+    /// only partially, DRAM hardly at all.
+    pub fn sandybridge() -> Self {
+        Self::new(4, 25, 0.55, 12)
+    }
+
+    /// A custom out-of-order core.
+    ///
+    /// # Panics
+    /// Panics if `issue_width` is zero or `dependence_fraction` is
+    /// outside `[0, 1]`.
+    pub fn new(
+        issue_width: u64,
+        window_cycles: u64,
+        dependence_fraction: f64,
+        squash_penalty: u64,
+    ) -> Self {
+        assert!(issue_width > 0, "issue width must be positive");
+        assert!(
+            (0.0..=1.0).contains(&dependence_fraction),
+            "dependence fraction must be a probability"
+        );
+        Self {
+            issue_width,
+            window_cycles,
+            dependence_fraction,
+            squash_penalty,
+            cycles: 0,
+            instructions: 0,
+            squashes: 0,
+            issue_carry: 0.0,
+            latency_carry: 0.0,
+        }
+    }
+
+    /// The full squash/replay cost of a load that was speculatively
+    /// scheduled as an L1 hit but missed.
+    pub fn miss_squash_cycles(&self) -> u64 {
+        self.squash_penalty
+    }
+
+    /// Exposed cycles of a load with the given total latency. Within the
+    /// scheduler window, exposure grows with the square root of latency —
+    /// longer hits give the scheduler proportionally more independent
+    /// work to overlap, so each extra cycle is hidden better than the
+    /// last — while latency beyond the window is exposed in full.
+    fn exposed(&self, latency: u64) -> f64 {
+        let in_window = latency.min(self.window_cycles) as f64;
+        let overflow = latency.saturating_sub(self.window_cycles) as f64;
+        self.dependence_fraction * in_window.sqrt() + overflow
+    }
+}
+
+impl CpuModel for OooCpu {
+    fn retire(&mut self, gap: u64, load_latency: u64, squash_cycles: u64) {
+        self.issue_carry += (gap + 1) as f64 / self.issue_width as f64;
+        let whole = self.issue_carry as u64;
+        self.issue_carry -= whole as f64;
+        self.cycles += whole;
+
+        self.latency_carry += self.exposed(load_latency);
+        let whole = self.latency_carry as u64;
+        self.latency_carry -= whole as f64;
+        self.cycles += whole;
+
+        if squash_cycles > 0 {
+            self.squashes += 1;
+            self.cycles += squash_cycles;
+        }
+        self.instructions += gap + 1;
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    fn squashes(&self) -> u64 {
+        self.squashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InOrderCpu;
+
+    #[test]
+    fn short_latencies_are_mostly_hidden() {
+        let cpu = OooCpu::sandybridge();
+        // A 2-cycle hit exposes under a cycle; a 200-cycle DRAM access
+        // exposes its window overflow in full.
+        assert!((cpu.exposed(2) - 0.55 * 2f64.sqrt()).abs() < 1e-12);
+        assert!((cpu.exposed(200) - (0.55 * 25f64.sqrt() + 175.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exposure_grows_sublinearly_within_the_window() {
+        // The property that keeps large-cache gains in the paper's range:
+        // going 5→1 cycles saves less than 4× what 2→1 saves.
+        let cpu = OooCpu::sandybridge();
+        let d21 = cpu.exposed(2) - cpu.exposed(1);
+        let d51 = cpu.exposed(5) - cpu.exposed(1);
+        assert!(d51 > d21);
+        assert!(d51 < 4.0 * d21);
+    }
+
+    #[test]
+    fn ooo_hides_latency_the_inorder_core_exposes() {
+        let mut ooo = OooCpu::sandybridge();
+        let mut ino = InOrderCpu::atom();
+        for _ in 0..10_000 {
+            ooo.retire(2, 5, 0);
+            ino.retire(2, 5, 0);
+        }
+        assert!(ooo.cycles() < ino.cycles() / 2);
+    }
+
+    #[test]
+    fn latency_reduction_still_helps_ooo() {
+        // The key property behind Fig. 7: cutting L1 hit latency from 2 to
+        // 1 cycles must still shorten OoO runtime (partially, not 1:1).
+        let mut slow = OooCpu::sandybridge();
+        let mut fast = OooCpu::sandybridge();
+        for _ in 0..10_000 {
+            slow.retire(2, 2, 0);
+            fast.retire(2, 1, 0);
+        }
+        let saved = slow.cycles() - fast.cycles();
+        assert!(saved > 0, "OoO must still benefit");
+        assert!(
+            saved < 10_000,
+            "…but less than the in-order core's full cycle per access"
+        );
+    }
+
+    #[test]
+    fn squash_penalty_is_charged() {
+        let mut clean = OooCpu::sandybridge();
+        let mut squashy = OooCpu::sandybridge();
+        let penalty = squashy.miss_squash_cycles();
+        for _ in 0..100 {
+            clean.retire(0, 2, 0);
+            squashy.retire(0, 2, penalty);
+        }
+        assert_eq!(squashy.cycles() - clean.cycles(), 100 * penalty);
+        assert_eq!(squashy.squashes(), 100);
+    }
+
+    #[test]
+    fn issue_width_bounds_throughput() {
+        let mut cpu = OooCpu::sandybridge();
+        for _ in 0..1000 {
+            cpu.retire(7, 0, 0); // 8 instructions, no memory cost
+        }
+        assert_eq!(cpu.instructions(), 8000);
+        assert_eq!(cpu.cycles(), 2000, "4-wide issue → 2 cycles per 8 insts");
+    }
+}

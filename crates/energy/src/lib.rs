@@ -1,0 +1,34 @@
+//! SRAM latency/energy models and memory-hierarchy energy accounting for
+//! the SEESAW reproduction.
+//!
+//! The paper drives its evaluation with numbers from a TSMC 28 nm SRAM
+//! compiler scaled to 22 nm (§III-B, Table III): cache access latency and
+//! lookup energy as a function of capacity and associativity. We pin an
+//! analytical model to the paper's reported values — Table III's cycle
+//! counts at 1.33/2.80/4.00 GHz, the +10–25 % latency and +40–50 % energy
+//! growth per associativity doubling (Fig. 2b/2c), and the 39.43 %
+//! energy saving of a 4-way SEESAW lookup versus an 8-way baseline lookup
+//! (§IV-A4) — then account whole-hierarchy energy from event counts.
+//!
+//! # Example
+//!
+//! ```
+//! use seesaw_energy::SramModel;
+//!
+//! let sram = SramModel::tsmc28_scaled_22nm();
+//! // Table III: a 32 KB 8-way lookup takes 2 cycles at 1.33 GHz…
+//! assert_eq!(sram.full_lookup_cycles(32, 8, 1.33), 2);
+//! // …while a SEESAW superpage lookup (one 4-way partition) takes 1.
+//! assert_eq!(sram.partition_lookup_cycles(32, 8, 2, 1.33), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod account;
+mod model;
+mod sram;
+
+pub use account::{EnergyAccount, EnergyBreakdown};
+pub use model::{EnergyModel, EventCosts};
+pub use sram::SramModel;

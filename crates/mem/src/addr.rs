@@ -1,0 +1,220 @@
+//! Virtual and physical address newtypes.
+//!
+//! The paper's hardware structures key off specific bit fields of the
+//! virtual and physical address (set index, partition index, page offset,
+//! 2 MB region tag, …), so addresses are strongly typed and expose named
+//! bit-extraction helpers rather than leaking raw `u64` arithmetic into
+//! the cache and TLB crates.
+
+use core::fmt;
+
+use crate::page::PageSize;
+
+/// A 64-bit virtual address.
+///
+/// # Example
+/// ```
+/// use seesaw_mem::{VirtAddr, PageSize};
+/// let va = VirtAddr::new(0x7fff_1234_5678);
+/// assert_eq!(va.page_offset(PageSize::Base4K), 0x678);
+/// assert_eq!(va.bits(12, 12), 0x345);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+/// A 64-bit physical address.
+///
+/// Produced only by address translation ([`crate::PageTable::translate`]);
+/// coherence probes and physically-indexed structures consume it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+macro_rules! addr_common {
+    ($ty:ident) => {
+        impl $ty {
+            /// Wraps a raw 64-bit address.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Extracts `count` bits starting at bit `lo` (little-endian bit
+            /// numbering, bit 0 is the least significant).
+            ///
+            /// # Panics
+            /// Panics if `lo + count > 64` or `count == 0`.
+            #[inline]
+            pub fn bits(self, lo: u32, count: u32) -> u64 {
+                assert!(count > 0 && lo + count <= 64, "bit range out of bounds");
+                if count == 64 {
+                    self.0
+                } else {
+                    (self.0 >> lo) & ((1u64 << count) - 1)
+                }
+            }
+
+            /// The offset of this address within a page of the given size.
+            #[inline]
+            pub fn page_offset(self, size: PageSize) -> u64 {
+                self.0 & (size.bytes() - 1)
+            }
+
+            /// The address rounded down to the containing page boundary.
+            #[inline]
+            pub fn page_base(self, size: PageSize) -> Self {
+                Self(self.0 & !(size.bytes() - 1))
+            }
+
+            /// The page number (address divided by page size).
+            #[inline]
+            pub fn page_number(self, size: PageSize) -> u64 {
+                self.0 >> size.offset_bits()
+            }
+
+            /// Returns the address advanced by `delta` bytes.
+            #[inline]
+            pub fn offset(self, delta: u64) -> Self {
+                Self(self.0.wrapping_add(delta))
+            }
+
+            /// True if the address is aligned to the given page size.
+            #[inline]
+            pub fn is_aligned(self, size: PageSize) -> bool {
+                self.page_offset(size) == 0
+            }
+
+            /// The cache-line address for `line_bytes`-byte lines.
+            #[inline]
+            pub fn line_address(self, line_bytes: u64) -> u64 {
+                debug_assert!(line_bytes.is_power_of_two());
+                self.0 / line_bytes
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x})", stringify!($ty), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Binary for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Binary::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(addr: $ty) -> u64 {
+                addr.0
+            }
+        }
+    };
+}
+
+addr_common!(VirtAddr);
+addr_common!(PhysAddr);
+
+impl VirtAddr {
+    /// The identifier of the 2 MB-aligned virtual region containing this
+    /// address: bits 63:21. This is the tag stored by the paper's
+    /// Translation Filter Table (§IV-A2).
+    #[inline]
+    pub fn region_2m(self) -> u64 {
+        self.0 >> PageSize::Super2M.offset_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_offsets_per_size() {
+        let va = VirtAddr::new(0x0000_7f3a_b5c6_d7e8);
+        assert_eq!(va.page_offset(PageSize::Base4K), 0x7e8);
+        assert_eq!(va.page_offset(PageSize::Super2M), 0x0c6_d7e8 & 0x1f_ffff);
+        assert_eq!(va.page_offset(PageSize::Super1G), va.raw() & 0x3fff_ffff);
+    }
+
+    #[test]
+    fn page_base_and_alignment() {
+        let va = VirtAddr::new(0x1234_5678);
+        let base = va.page_base(PageSize::Super2M);
+        assert!(base.is_aligned(PageSize::Super2M));
+        assert_eq!(base.raw(), 0x1220_0000);
+        assert!(!va.is_aligned(PageSize::Base4K));
+        assert!(VirtAddr::new(0x1000).is_aligned(PageSize::Base4K));
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let va = VirtAddr::new(0b1011_0110_1100);
+        assert_eq!(va.bits(0, 4), 0b1100);
+        assert_eq!(va.bits(4, 4), 0b0110);
+        assert_eq!(va.bits(8, 4), 0b1011);
+        assert_eq!(va.bits(0, 64), va.raw());
+    }
+
+    #[test]
+    #[should_panic(expected = "bit range out of bounds")]
+    fn bit_extraction_out_of_range_panics() {
+        VirtAddr::new(0).bits(60, 8);
+    }
+
+    #[test]
+    fn region_2m_tag_matches_page_number() {
+        let va = VirtAddr::new(0x7fff_ffff_ffff);
+        assert_eq!(va.region_2m(), va.page_number(PageSize::Super2M));
+        // Two addresses in the same 2 MB region share a tag.
+        let a = VirtAddr::new(0x4020_0000);
+        let b = VirtAddr::new(0x401f_ffff);
+        assert_ne!(a.region_2m(), b.region_2m());
+        assert_eq!(a.region_2m(), VirtAddr::new(0x403f_ffff).region_2m());
+    }
+
+    #[test]
+    fn line_address_strips_offset() {
+        let pa = PhysAddr::new(0x1040);
+        assert_eq!(pa.line_address(64), 0x41);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let raw = 0xdead_beef_u64;
+        let va: VirtAddr = raw.into();
+        let back: u64 = va.into();
+        assert_eq!(back, raw);
+    }
+
+    #[test]
+    fn display_and_hex_formatting() {
+        let pa = PhysAddr::new(0xff);
+        assert_eq!(format!("{pa}"), "PhysAddr(0xff)");
+        assert_eq!(format!("{pa:x}"), "ff");
+        assert_eq!(format!("{pa:b}"), "11111111");
+    }
+}

@@ -1,0 +1,52 @@
+//! Virtual-memory substrate for the SEESAW reproduction.
+//!
+//! This crate implements everything the paper's operating-system layer
+//! provides: virtual/physical address types, multiple page sizes
+//! (4 KB base pages plus 2 MB and 1 GB superpages), a page table that can
+//! map any of those sizes, a buddy allocator over a simulated physical
+//! memory, a transparent-huge-page (THP) allocation policy with memory
+//! compaction, and the `memhog` fragmentation microbenchmark used by the
+//! paper (§III-C, Fig. 3) to control how many superpages the OS can create.
+//!
+//! # Example
+//!
+//! ```
+//! use seesaw_mem::{AddressSpace, PhysicalMemory, ThpPolicy, PageSize};
+//!
+//! // 1 GiB of simulated physical memory.
+//! let mut pmem = PhysicalMemory::new(1 << 30);
+//! let mut space = AddressSpace::new(1);
+//! // Allocate a 64 MiB heap region with transparent superpages enabled.
+//! let region = space
+//!     .mmap_anonymous(&mut pmem, 64 << 20, ThpPolicy::Always)
+//!     .expect("enough memory");
+//! let coverage = space.superpage_coverage();
+//! assert!(coverage > 0.9, "unfragmented memory should be mostly 2 MB pages");
+//! let translation = space.translate(region.base()).expect("mapped");
+//! assert_eq!(translation.page_size, PageSize::Super2M);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod buddy;
+mod compaction;
+mod error;
+mod memhog;
+mod page;
+mod page_table;
+mod phys;
+mod process;
+mod thp;
+
+pub use addr::{PhysAddr, VirtAddr};
+pub use buddy::{BuddyAllocator, BuddyStats, MAX_ORDER};
+pub use compaction::{CompactionOutcome, Compactor};
+pub use error::MemError;
+pub use memhog::{Memhog, MemhogConfig};
+pub use page::{PageFrame, PageSize, VirtPage};
+pub use page_table::{PageTable, PageTableOp, Translation};
+pub use phys::{FrameState, PhysicalMemory};
+pub use process::{AddressSpace, Vma, VmaKind};
+pub use thp::{ThpPolicy, ThpStats};

@@ -1,0 +1,209 @@
+//! Page sizes and typed page numbers.
+
+use core::fmt;
+
+use crate::{PhysAddr, VirtAddr};
+
+/// An x86-64 page size. The paper evaluates 4 KB base pages and 2 MB
+/// superpages, and notes the design generalizes to 1 GB (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KB base page (12 offset bits).
+    Base4K,
+    /// 2 MB superpage (21 offset bits).
+    Super2M,
+    /// 1 GB superpage (30 offset bits).
+    Super1G,
+}
+
+impl PageSize {
+    /// All sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Base4K, PageSize::Super2M, PageSize::Super1G];
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Base4K => 4 << 10,
+            PageSize::Super2M => 2 << 20,
+            PageSize::Super1G => 1 << 30,
+        }
+    }
+
+    /// Number of page-offset bits (`log2(bytes)`).
+    #[inline]
+    pub const fn offset_bits(self) -> u32 {
+        match self {
+            PageSize::Base4K => 12,
+            PageSize::Super2M => 21,
+            PageSize::Super1G => 30,
+        }
+    }
+
+    /// True for any size larger than the base page — the paper's
+    /// definition of "superpage" (§I, footnote 1).
+    #[inline]
+    pub const fn is_superpage(self) -> bool {
+        !matches!(self, PageSize::Base4K)
+    }
+
+    /// Number of 4 KB base pages contained in one page of this size.
+    #[inline]
+    pub const fn base_pages(self) -> u64 {
+        self.bytes() / PageSize::Base4K.bytes()
+    }
+
+    /// Buddy-allocator order of this size (0 for 4 KB, 9 for 2 MB, 18 for 1 GB).
+    #[inline]
+    pub const fn buddy_order(self) -> u32 {
+        self.offset_bits() - PageSize::Base4K.offset_bits()
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Base4K => write!(f, "4KB"),
+            PageSize::Super2M => write!(f, "2MB"),
+            PageSize::Super1G => write!(f, "1GB"),
+        }
+    }
+}
+
+/// A virtual page: a page-aligned virtual address plus its size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VirtPage {
+    base: VirtAddr,
+    size: PageSize,
+}
+
+impl VirtPage {
+    /// The virtual page of the given size containing `addr`.
+    #[inline]
+    pub fn containing(addr: VirtAddr, size: PageSize) -> Self {
+        Self {
+            base: addr.page_base(size),
+            size,
+        }
+    }
+
+    /// Page-aligned base address.
+    #[inline]
+    pub fn base(self) -> VirtAddr {
+        self.base
+    }
+
+    /// The page size.
+    #[inline]
+    pub fn size(self) -> PageSize {
+        self.size
+    }
+
+    /// Virtual page number.
+    #[inline]
+    pub fn number(self) -> u64 {
+        self.base.page_number(self.size)
+    }
+
+    /// True if `addr` falls inside this page.
+    #[inline]
+    pub fn contains(self, addr: VirtAddr) -> bool {
+        addr.page_base(self.size) == self.base
+    }
+}
+
+/// A physical page frame: a frame-aligned physical address plus its size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageFrame {
+    base: PhysAddr,
+    size: PageSize,
+}
+
+impl PageFrame {
+    /// Creates a frame from an aligned base address.
+    ///
+    /// # Panics
+    /// Panics if `base` is not aligned to `size`.
+    #[inline]
+    pub fn new(base: PhysAddr, size: PageSize) -> Self {
+        assert!(
+            base.is_aligned(size),
+            "frame base {base} not aligned to {size}"
+        );
+        Self { base, size }
+    }
+
+    /// Frame-aligned base address.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        self.base
+    }
+
+    /// The frame size.
+    #[inline]
+    pub fn size(self) -> PageSize {
+        self.size
+    }
+
+    /// Physical frame number.
+    #[inline]
+    pub fn number(self) -> u64 {
+        self.base.page_number(self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_offset_bits_are_consistent() {
+        for size in PageSize::ALL {
+            assert_eq!(1u64 << size.offset_bits(), size.bytes());
+        }
+    }
+
+    #[test]
+    fn superpage_classification() {
+        assert!(!PageSize::Base4K.is_superpage());
+        assert!(PageSize::Super2M.is_superpage());
+        assert!(PageSize::Super1G.is_superpage());
+    }
+
+    #[test]
+    fn base_page_counts() {
+        assert_eq!(PageSize::Base4K.base_pages(), 1);
+        assert_eq!(PageSize::Super2M.base_pages(), 512);
+        assert_eq!(PageSize::Super1G.base_pages(), 512 * 512);
+    }
+
+    #[test]
+    fn buddy_orders() {
+        assert_eq!(PageSize::Base4K.buddy_order(), 0);
+        assert_eq!(PageSize::Super2M.buddy_order(), 9);
+        assert_eq!(PageSize::Super1G.buddy_order(), 18);
+    }
+
+    #[test]
+    fn virt_page_containing() {
+        let addr = VirtAddr::new(0x40_1234);
+        let page = VirtPage::containing(addr, PageSize::Super2M);
+        assert_eq!(page.base().raw(), 0x40_0000);
+        assert!(page.contains(addr));
+        assert!(!page.contains(VirtAddr::new(0x60_0000)));
+        assert_eq!(page.number(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn misaligned_frame_panics() {
+        PageFrame::new(PhysAddr::new(0x1234), PageSize::Super2M);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PageSize::Base4K.to_string(), "4KB");
+        assert_eq!(PageSize::Super2M.to_string(), "2MB");
+        assert_eq!(PageSize::Super1G.to_string(), "1GB");
+    }
+}

@@ -1,0 +1,276 @@
+//! Run configuration (the knobs of Tables II and III).
+
+use seesaw_core::InsertionPolicy;
+use seesaw_workloads::{catalog, WorkloadSpec};
+
+/// How the out-of-order scheduler picks its assumed hit time for SEESAW
+/// loads (§IV-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerHintPolicy {
+    /// The paper's design: assume fast while the superpage TLB holds at
+    /// least a quarter of its capacity, else assume slow.
+    #[default]
+    Occupancy,
+    /// Always assume the fast hit time (ablation: shows the squash storms
+    /// the occupancy counter prevents when superpages are scarce).
+    AlwaysFast,
+    /// Always assume the slow hit time (ablation: "a faster hit due to
+    /// SEESAW may not translate to overall runtime reduction, but will
+    /// still provide the same energy benefits").
+    AlwaysSlow,
+}
+
+/// The three clock frequencies the paper evaluates (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Frequency {
+    /// 1.33 GHz.
+    F1_33,
+    /// 2.80 GHz.
+    F2_80,
+    /// 4.00 GHz.
+    F4_00,
+}
+
+impl Frequency {
+    /// All three, ascending.
+    pub const ALL: [Frequency; 3] = [Frequency::F1_33, Frequency::F2_80, Frequency::F4_00];
+
+    /// The frequency in GHz.
+    pub fn ghz(self) -> f64 {
+        match self {
+            Frequency::F1_33 => 1.33,
+            Frequency::F2_80 => 2.80,
+            Frequency::F4_00 => 4.00,
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Frequency::F1_33 => "1.33GHz",
+            Frequency::F2_80 => "2.80GHz",
+            Frequency::F4_00 => "4.00GHz",
+        }
+    }
+}
+
+/// Which core the system models (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuKind {
+    /// ~Intel Atom: dual-issue in-order.
+    InOrder,
+    /// ~Intel Sandybridge: 168-entry ROB out-of-order.
+    OutOfOrder,
+}
+
+/// The L1 design under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L1DesignKind {
+    /// Conventional VIPT at the paper's baseline associativity
+    /// (8/16/32 ways for 32/64/128 KB).
+    BaselineVipt,
+    /// The baseline with an MRU way predictor (Fig. 15's "WP").
+    BaselineWithWayPrediction,
+    /// SEESAW.
+    Seesaw,
+    /// SEESAW plus way prediction (Fig. 15's "WP+SEESAW").
+    SeesawWithWayPrediction,
+    /// A PIPT alternative with the given associativity and translation
+    /// serialized before indexing (Fig. 14's design-space points).
+    Pipt {
+        /// Associativity of the PIPT design.
+        ways: usize,
+    },
+    /// A VIVT alternative with synonym-tracking hardware (§II-A, §VII):
+    /// hits bypass the TLB entirely, at the complexity cost the paper
+    /// cites for rejecting it.
+    Vivt {
+        /// Associativity of the VIVT design.
+        ways: usize,
+    },
+}
+
+/// Everything one simulation run needs.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// L1 capacity in KB (32, 64, or 128 in the paper).
+    pub l1_size_kb: u64,
+    /// Core clock.
+    pub frequency: Frequency,
+    /// Core kind.
+    pub cpu: CpuKind,
+    /// L1 design.
+    pub design: L1DesignKind,
+    /// Instructions to simulate.
+    pub instructions: u64,
+    /// memhog's share of physical memory, in percent (Fig. 3 / Fig. 12).
+    pub memhog_percent: u32,
+    /// TFT entries (Fig. 13 sweeps 12–20).
+    pub tft_entries: usize,
+    /// Override SEESAW's partition count (default: ways/4, the paper's
+    /// 4-way partitions; §IV-B4's design-choice sweep uses this).
+    pub seesaw_partitions: Option<usize>,
+    /// Insertion policy (§IV-B1 ablation).
+    pub insertion: InsertionPolicy,
+    /// Snoopy instead of directory coherence (§VI-B): multiplies probe
+    /// traffic by the broadcast factor.
+    pub snoopy: bool,
+    /// Attach an L2 stream prefetcher of this degree (`None` = off, the
+    /// paper's unstated baseline; the robustness ablation turns it on).
+    pub prefetch_degree: Option<usize>,
+    /// Context-switch interval in instructions (TFT flush, §IV-C3);
+    /// `None` disables switching.
+    pub context_switch_interval: Option<u64>,
+    /// Interval for OS page-table churn (splinter + later re-promote,
+    /// §IV-C2); `None` disables it.
+    pub page_op_interval: Option<u64>,
+    /// Scale the 4 KB L1 TLB to this many entries (Fig. 14's
+    /// smaller-TLB alternatives).
+    pub l1_tlb_4k_entries: Option<usize>,
+    /// How the scheduler picks its assumed hit time (§IV-B3).
+    pub scheduler_hint: SchedulerHintPolicy,
+    /// Squash cost (cycles) when the Fast hit-time assumption meets a
+    /// base-page access. The TFT's quarter-cycle answer lets the paper's
+    /// scheduler re-wake dependents before they issue, so the default is
+    /// 0; raise it to model deeper speculative wakeup (§IV-B3).
+    pub hit_time_squash_cycles: u64,
+    /// Warmup instructions excluded from measurement; `None` = a third
+    /// of the budget, capped at 500k.
+    pub warmup_instructions: Option<u64>,
+    /// Emit a telemetry [`crate::Sample`] every this many instructions of
+    /// the measured window; `None` disables sampling.
+    pub sample_interval: Option<u64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Default instruction budget for full experiment runs.
+    pub const DEFAULT_INSTRUCTIONS: u64 = 2_000_000;
+
+    /// A full-length run for the named workload with paper defaults:
+    /// 32 KB SEESAW-capable geometry, 1.33 GHz, out-of-order, baseline
+    /// VIPT design.
+    ///
+    /// # Panics
+    /// Panics if the workload name is unknown.
+    pub fn paper(workload: &str) -> Self {
+        let spec = *catalog()
+            .iter()
+            .find(|w| w.name == workload)
+            .unwrap_or_else(|| panic!("unknown workload {workload}"));
+        Self {
+            workload: spec,
+            l1_size_kb: 32,
+            frequency: Frequency::F1_33,
+            cpu: CpuKind::OutOfOrder,
+            design: L1DesignKind::BaselineVipt,
+            instructions: Self::DEFAULT_INSTRUCTIONS,
+            memhog_percent: 0,
+            tft_entries: 16,
+            seesaw_partitions: None,
+            insertion: InsertionPolicy::FourWay,
+            snoopy: false,
+            prefetch_degree: None,
+            scheduler_hint: SchedulerHintPolicy::Occupancy,
+            context_switch_interval: Some(1_000_000),
+            page_op_interval: None,
+            l1_tlb_4k_entries: None,
+            hit_time_squash_cycles: 0,
+            warmup_instructions: None,
+            sample_interval: None,
+            seed: 0x5eea,
+        }
+    }
+
+    /// A short run for tests and doc examples.
+    pub fn quick(workload: &str) -> Self {
+        Self {
+            instructions: 150_000,
+            ..Self::paper(workload)
+        }
+    }
+
+    /// Builder: set the L1 design.
+    pub fn design(mut self, design: L1DesignKind) -> Self {
+        self.design = design;
+        self
+    }
+
+    /// Builder: set the core kind.
+    pub fn cpu(mut self, cpu: CpuKind) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Builder: set the L1 capacity in KB.
+    pub fn l1_size(mut self, kb: u64) -> Self {
+        self.l1_size_kb = kb;
+        self
+    }
+
+    /// Builder: set the clock.
+    pub fn frequency(mut self, f: Frequency) -> Self {
+        self.frequency = f;
+        self
+    }
+
+    /// Builder: set memhog pressure.
+    pub fn memhog(mut self, percent: u32) -> Self {
+        self.memhog_percent = percent;
+        self
+    }
+
+    /// Builder: set the instruction budget.
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// The paper's baseline associativity for this capacity (Fig. 1c:
+    /// 64 sets, grow by ways).
+    pub fn baseline_ways(&self) -> usize {
+        ((self.l1_size_kb << 10) / (64 * 64)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_match_table_iii() {
+        let ghz: Vec<f64> = Frequency::ALL.iter().map(|f| f.ghz()).collect();
+        assert_eq!(ghz, vec![1.33, 2.80, 4.00]);
+    }
+
+    #[test]
+    fn baseline_ways_track_capacity() {
+        assert_eq!(RunConfig::paper("astar").l1_size(32).baseline_ways(), 8);
+        assert_eq!(RunConfig::paper("astar").l1_size(64).baseline_ways(), 16);
+        assert_eq!(RunConfig::paper("astar").l1_size(128).baseline_ways(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        RunConfig::paper("doom");
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = RunConfig::quick("redis")
+            .design(L1DesignKind::Seesaw)
+            .cpu(CpuKind::InOrder)
+            .l1_size(64)
+            .frequency(Frequency::F4_00)
+            .memhog(30)
+            .instructions(1000);
+        assert_eq!(cfg.l1_size_kb, 64);
+        assert_eq!(cfg.instructions, 1000);
+        assert_eq!(cfg.memhog_percent, 30);
+        assert_eq!(cfg.design, L1DesignKind::Seesaw);
+    }
+}

@@ -1,0 +1,84 @@
+//! Fig. 3: fraction of the memory footprint backed by 2 MB superpages as
+//! memhog fragments physical memory.
+
+use seesaw_workloads::catalog;
+
+use crate::report::pct;
+use crate::{RunConfig, System, Table};
+
+/// memhog pressures of Fig. 3.
+pub const FIG3_MEMHOG: [u32; 4] = [0, 40, 60, 80];
+
+/// Coverage of one workload across the fragmentation levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Coverage (0–1) at each of [`FIG3_MEMHOG`]'s pressures.
+    pub coverage: [f64; 4],
+}
+
+/// Runs the allocation study: no trace simulation required — coverage is
+/// determined at footprint-population time.
+pub fn fig3() -> Vec<Fig3Row> {
+    catalog()
+        .iter()
+        .map(|spec| {
+            let mut coverage = [0.0; 4];
+            for (slot, &pct) in FIG3_MEMHOG.iter().enumerate() {
+                let config = RunConfig::paper(spec.name).memhog(pct);
+                coverage[slot] = System::build(&config).superpage_coverage();
+            }
+            Fig3Row {
+                workload: spec.name,
+                coverage,
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows.
+pub fn fig3_table(rows: &[Fig3Row]) -> Table {
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(FIG3_MEMHOG.iter().map(|p| format!("memhog({p}%)")));
+    let mut table = Table::new(headers);
+    for row in rows {
+        let mut cells = vec![row.workload.to_string()];
+        cells.extend(row.coverage.iter().map(|c| pct(c * 100.0)));
+        table.row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_is_high_unfragmented_and_collapses_at_80() {
+        // A spot check on three workloads (the full sweep runs in the
+        // fig3 binary). Paper: 65%+ at low fragmentation, struggling at
+        // 80%+, but "even in the extreme cases, some superpages are
+        // allocated".
+        for name in ["astar", "redis", "g500"] {
+            let cov = |pct: u32| {
+                System::build(&RunConfig::paper(name).memhog(pct)).superpage_coverage()
+            };
+            let c0 = cov(0);
+            let c80 = cov(80);
+            assert!(c0 > 0.65, "{name}: memhog(0) coverage {c0}");
+            assert!(c80 < c0, "{name}: coverage must fall with fragmentation");
+        }
+    }
+
+    #[test]
+    fn table_renders_all_workloads() {
+        let rows = vec![Fig3Row {
+            workload: "redis",
+            coverage: [0.9, 0.8, 0.6, 0.2],
+        }];
+        let t = fig3_table(&rows);
+        assert_eq!(t.len(), 1);
+        assert!(t.to_string().contains("memhog(40%)"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Figs. 7–9: runtime improvement of SEESAW over baseline VIPT.
+
+use seesaw_workloads::catalog;
+
+use crate::report::pct;
+use crate::stats::Summary;
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, System, Table};
+
+/// Cache sizes of the runtime studies.
+pub const SIZES_KB: [u64; 3] = [32, 64, 128];
+
+/// One Fig. 7 bar: a workload × cache size improvement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// L1 capacity in KB.
+    pub size_kb: u64,
+    /// Percent runtime improvement of SEESAW over baseline VIPT.
+    pub improvement_pct: f64,
+}
+
+/// One Fig. 8/9 bar: a frequency × size summary over all workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqSweepRow {
+    /// Frequency label.
+    pub freq: &'static str,
+    /// L1 capacity in KB.
+    pub size_kb: u64,
+    /// Mean/min/max improvement across all workloads.
+    pub summary: Summary,
+}
+
+/// Runs baseline and SEESAW for one configuration and returns the
+/// runtime improvement.
+pub(crate) fn improvement(
+    workload: &str,
+    size_kb: u64,
+    freq: Frequency,
+    cpu: CpuKind,
+    instructions: u64,
+) -> f64 {
+    let base_cfg = RunConfig::paper(workload)
+        .l1_size(size_kb)
+        .frequency(freq)
+        .cpu(cpu)
+        .instructions(instructions);
+    let base = System::build(&base_cfg).run();
+    let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw)).run();
+    seesaw.runtime_improvement_pct(&base)
+}
+
+/// Fig. 7: per-workload runtime improvement on the out-of-order core at
+/// 1.33 GHz, for 32/64/128 KB caches.
+pub fn fig7(instructions: u64) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for spec in catalog() {
+        for &size_kb in &SIZES_KB {
+            rows.push(Fig7Row {
+                workload: spec.name,
+                size_kb,
+                improvement_pct: improvement(
+                    spec.name,
+                    size_kb,
+                    Frequency::F1_33,
+                    CpuKind::OutOfOrder,
+                    instructions,
+                ),
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 8: frequency sweep on the out-of-order core (avg/min/max over all
+/// workloads per size × frequency).
+pub fn fig8(instructions: u64) -> Vec<FreqSweepRow> {
+    freq_sweep(CpuKind::OutOfOrder, instructions)
+}
+
+/// Fig. 9: the same sweep on the in-order core (gains are higher).
+pub fn fig9(instructions: u64) -> Vec<FreqSweepRow> {
+    freq_sweep(CpuKind::InOrder, instructions)
+}
+
+fn freq_sweep(cpu: CpuKind, instructions: u64) -> Vec<FreqSweepRow> {
+    let workloads = catalog();
+    let mut rows = Vec::new();
+    for freq in Frequency::ALL {
+        for &size_kb in &SIZES_KB {
+            let improvements: Vec<f64> = workloads
+                .iter()
+                .map(|w| improvement(w.name, size_kb, freq, cpu, instructions))
+                .collect();
+            rows.push(FreqSweepRow {
+                freq: freq.label(),
+                size_kb,
+                summary: Summary::of(&improvements),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Fig. 7 rows (workloads × sizes).
+pub fn fig7_table(rows: &[Fig7Row]) -> Table {
+    let mut table = Table::new(vec!["workload", "32KB", "64KB", "128KB"]);
+    for spec in catalog() {
+        let cell = |size: u64| {
+            rows.iter()
+                .find(|r| r.workload == spec.name && r.size_kb == size)
+                .map(|r| pct(r.improvement_pct))
+                .unwrap_or_else(|| "-".into())
+        };
+        table.row(vec![spec.name.into(), cell(32), cell(64), cell(128)]);
+    }
+    table
+}
+
+/// Renders Fig. 8/9 rows.
+pub fn freq_sweep_table(rows: &[FreqSweepRow]) -> Table {
+    let mut table = Table::new(vec!["freq", "size", "avg", "min", "max"]);
+    for r in rows {
+        table.row(vec![
+            r.freq.into(),
+            format!("{}KB", r.size_kb),
+            pct(r.summary.mean),
+            pct(r.summary.min),
+            pct(r.summary.max),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: u64 = 120_000;
+
+    #[test]
+    fn every_workload_improves_at_64kb() {
+        // Spot-check a diverse trio; "Every single one of our workloads
+        // benefits from SEESAW" (§VI-A). The full 16 run in the binary.
+        for name in ["redis", "astar", "g500"] {
+            let imp = improvement(name, 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK);
+            assert!(imp > 0.0, "{name} regressed: {imp:.2}%");
+        }
+    }
+
+    #[test]
+    fn larger_caches_improve_more() {
+        let small = improvement("mongo", 32, Frequency::F1_33, CpuKind::OutOfOrder, QUICK);
+        let large = improvement("mongo", 128, Frequency::F1_33, CpuKind::OutOfOrder, QUICK);
+        assert!(
+            large > small,
+            "128KB ({large:.2}%) should beat 32KB ({small:.2}%)"
+        );
+    }
+
+    #[test]
+    fn improvements_are_in_the_papers_band() {
+        // Paper Fig. 7: averages of 5–11% across sizes, bars up to ~17%.
+        let imp = improvement("redis", 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK);
+        assert!((0.5..25.0).contains(&imp), "got {imp:.2}%");
+    }
+
+    #[test]
+    fn tables_render() {
+        let rows = vec![Fig7Row {
+            workload: "astar",
+            size_kb: 32,
+            improvement_pct: 4.0,
+        }];
+        assert_eq!(fig7_table(&rows).len(), 16);
+        let rows = vec![FreqSweepRow {
+            freq: "1.33GHz",
+            size_kb: 32,
+            summary: Summary::of(&[1.0, 2.0]),
+        }];
+        assert_eq!(freq_sweep_table(&rows).len(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Full-system assembly and experiment drivers for the SEESAW
+//! reproduction.
+//!
+//! [`System`] wires every substrate together — the OS memory model with
+//! transparent superpages under memhog-driven fragmentation, the TLB
+//! hierarchy, an L1 design (baseline VIPT, SEESAW, PIPT alternatives,
+//! with or without way prediction), the outer memory hierarchy, the
+//! coherence probe stream, the energy model, and an in-order or
+//! out-of-order timing core — and runs a workload trace through it.
+//!
+//! [`experiments`] hosts one driver per table and figure in the paper's
+//! evaluation; the `seesaw-bench` crate's binaries and Criterion benches
+//! call straight into them.
+//!
+//! # Example
+//!
+//! ```
+//! use seesaw_sim::{CpuKind, L1DesignKind, RunConfig, System};
+//!
+//! let config = RunConfig::quick("redis")
+//!     .design(L1DesignKind::Seesaw)
+//!     .cpu(CpuKind::OutOfOrder);
+//! let result = System::build(&config).run();
+//! assert!(result.totals.instructions >= 100_000);
+//! assert!(result.superpage_ref_fraction > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chart;
+mod config;
+pub mod experiments;
+mod report;
+mod stats;
+mod system;
+
+pub use config::{CpuKind, Frequency, L1DesignKind, RunConfig, SchedulerHintPolicy};
+pub use chart::BarChart;
+pub use report::Table;
+pub use stats::{RunResult, Sample, Summary};
+pub use system::System;

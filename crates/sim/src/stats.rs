@@ -1,0 +1,114 @@
+//! Results of one simulation run.
+
+use seesaw_cache::CacheStats;
+use seesaw_core::{SeesawStats, TftStats};
+use seesaw_cpu::RunTotals;
+use seesaw_energy::EnergyBreakdown;
+use seesaw_tlb::TlbStats;
+
+/// One telemetry sample: deltas over a sampling window of the measured
+/// run (enabled with [`crate::RunConfig::sample_interval`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Instructions retired when the window closed.
+    pub instructions: u64,
+    /// Cycles per instruction over the window.
+    pub cpi: f64,
+    /// L1 misses per kilo-instruction over the window.
+    pub mpki: f64,
+    /// TFT hit rate over the window (0 when no TFT lookups happened).
+    pub tft_hit_rate: f64,
+}
+
+/// Everything a run reports.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Core timing totals.
+    pub totals: RunTotals,
+    /// Wall-clock nanoseconds at the configured frequency.
+    pub runtime_ns: f64,
+    /// Whole-hierarchy energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// L1 counters.
+    pub l1: CacheStats,
+    /// L1 misses per kilo-instruction.
+    pub l1_mpki: f64,
+    /// L1 TLB counters.
+    pub tlb_l1: TlbStats,
+    /// Page walks performed.
+    pub walks: u64,
+    /// SEESAW counters (zeroes for baseline designs).
+    pub seesaw: SeesawStats,
+    /// TFT counters (zeroes for baseline designs).
+    pub tft: TftStats,
+    /// Fraction of the footprint backed by superpages after allocation
+    /// (Fig. 3's metric).
+    pub superpage_coverage: f64,
+    /// Fraction of memory references that touched superpage-backed data
+    /// (the paper reports 53–95 %, §V).
+    pub superpage_ref_fraction: f64,
+    /// Way-prediction accuracy, if a predictor was attached.
+    pub way_prediction_accuracy: Option<f64>,
+    /// Coherence probes delivered to the L1.
+    pub coherence_probes: u64,
+    /// Windowed telemetry (empty unless sampling was enabled).
+    pub samples: Vec<Sample>,
+}
+
+impl RunResult {
+    /// Percent runtime improvement of `self` (the candidate) over
+    /// `baseline`: positive = faster.
+    pub fn runtime_improvement_pct(&self, baseline: &RunResult) -> f64 {
+        100.0 * (1.0 - self.totals.cycles as f64 / baseline.totals.cycles as f64)
+    }
+
+    /// Percent memory-hierarchy energy saved versus `baseline`.
+    pub fn energy_savings_pct(&self, baseline: &RunResult) -> f64 {
+        100.0 * (1.0 - self.energy.total_nj() / baseline.energy.total_nj())
+    }
+}
+
+/// Mean/min/max summary over a set of percentages (the error bars of
+/// Figs. 8–10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize nothing");
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { mean, min, max }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_values() {
+        let s = Summary::of(&[1.0, 3.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot summarize nothing")]
+    fn empty_summary_panics() {
+        Summary::of(&[]);
+    }
+}

@@ -1,0 +1,149 @@
+//! TLB hierarchy configuration, with presets matching the paper's target
+//! systems (Table II).
+
+/// Geometry of one set-associative TLB structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl TlbConfig {
+    /// Convenience constructor.
+    pub const fn new(entries: usize, ways: usize) -> Self {
+        Self { entries, ways }
+    }
+}
+
+/// Which L1 TLB organization the hierarchy uses (§II-B): Intel-style split
+/// per-page-size TLBs, or an ARM/Sparc-style fully-associative unified one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Organization {
+    /// Separate L1 TLBs per page size (Sandybridge, Atom).
+    Split {
+        /// 4 KB-page L1 TLB.
+        l1_4k: TlbConfig,
+        /// 2 MB-page L1 TLB.
+        l1_2m: TlbConfig,
+        /// Optional 1 GB-page L1 TLB.
+        l1_1g: Option<TlbConfig>,
+    },
+    /// One fully-associative L1 TLB holding all page sizes.
+    Unified {
+        /// Entry capacity.
+        entries: usize,
+    },
+}
+
+/// Full hierarchy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbHierarchyConfig {
+    /// L1 organization.
+    pub l1: L1Organization,
+    /// Optional unified L2 TLB (4 KB + 2 MB entries, like Skylake's
+    /// 1536-entry structure).
+    pub l2: Option<TlbConfig>,
+    /// Extra cycles an L2 TLB hit adds to the translation.
+    pub l2_latency: u64,
+    /// Cycles per page-walk level.
+    pub walk_cycles_per_level: u64,
+}
+
+impl TlbHierarchyConfig {
+    /// Table II's Intel Atom-like hierarchy: L1 64-entry 4 KB + 32-entry
+    /// 2 MB, backed by a 512-entry L2.
+    pub fn atom() -> Self {
+        Self {
+            l1: L1Organization::Split {
+                l1_4k: TlbConfig::new(64, 4),
+                l1_2m: TlbConfig::new(32, 4),
+                l1_1g: Some(TlbConfig::new(4, 4)),
+            },
+            l2: Some(TlbConfig::new(512, 4)),
+            l2_latency: 7,
+            walk_cycles_per_level: 25,
+        }
+    }
+
+    /// Table II's Intel Sandybridge-like hierarchy: split L1 with
+    /// 128 entries for 4 KB pages and 16 for 2 MB pages.
+    pub fn sandybridge() -> Self {
+        Self {
+            l1: L1Organization::Split {
+                l1_4k: TlbConfig::new(128, 4),
+                l1_2m: TlbConfig::new(16, 4),
+                l1_1g: Some(TlbConfig::new(4, 4)),
+            },
+            l2: Some(TlbConfig::new(512, 4)),
+            l2_latency: 7,
+            walk_cycles_per_level: 25,
+        }
+    }
+
+    /// An ARM-style fully-associative unified L1.
+    pub fn unified(entries: usize) -> Self {
+        Self {
+            l1: L1Organization::Unified { entries },
+            l2: Some(TlbConfig::new(512, 4)),
+            l2_latency: 7,
+            walk_cycles_per_level: 25,
+        }
+    }
+
+    /// Returns a copy with the L2 TLB scaled to `entries` (used by the
+    /// Fig. 14 design-space sweep, which shrinks TLBs to buy latency).
+    pub fn with_l2_entries(mut self, entries: usize) -> Self {
+        self.l2 = Some(TlbConfig::new(entries, 4));
+        self
+    }
+
+    /// Returns a copy with the 4 KB L1 TLB scaled to `entries` (split
+    /// organizations only; no-op for unified).
+    pub fn with_l1_4k_entries(mut self, entries: usize) -> Self {
+        if let L1Organization::Split { ref mut l1_4k, .. } = self.l1 {
+            *l1_4k = TlbConfig::new(entries, l1_4k.ways.min(entries));
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_ii() {
+        let atom = TlbHierarchyConfig::atom();
+        match atom.l1 {
+            L1Organization::Split { l1_4k, l1_2m, .. } => {
+                assert_eq!(l1_4k.entries, 64);
+                assert_eq!(l1_2m.entries, 32);
+            }
+            other => panic!("atom is split, got {other:?}"),
+        }
+        assert_eq!(atom.l2.unwrap().entries, 512);
+
+        let sb = TlbHierarchyConfig::sandybridge();
+        match sb.l1 {
+            L1Organization::Split { l1_4k, l1_2m, .. } => {
+                assert_eq!(l1_4k.entries, 128);
+                assert_eq!(l1_2m.entries, 16);
+            }
+            other => panic!("sandybridge is split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_helpers_rescale() {
+        let cfg = TlbHierarchyConfig::sandybridge()
+            .with_l2_entries(128)
+            .with_l1_4k_entries(32);
+        assert_eq!(cfg.l2.unwrap().entries, 128);
+        match cfg.l1 {
+            L1Organization::Split { l1_4k, .. } => assert_eq!(l1_4k.entries, 32),
+            _ => unreachable!(),
+        }
+    }
+}

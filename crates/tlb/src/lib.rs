@@ -1,0 +1,46 @@
+//! TLB hierarchy substrate for the SEESAW reproduction.
+//!
+//! Models the translation machinery the paper builds on (§II): split
+//! per-page-size L1 TLBs (as on Intel Sandybridge/Atom), an optional
+//! unified L2 TLB, a page-table walker, and `invlpg`-style invalidation.
+//! The hierarchy reports which level served each lookup, the cycle cost,
+//! and every fill into the superpage L1 TLB — the event SEESAW's
+//! Translation Filter Table snoops (§IV-A2).
+//!
+//! # Example
+//!
+//! ```
+//! use seesaw_mem::{AddressSpace, PhysicalMemory, ThpPolicy};
+//! use seesaw_tlb::{TlbHierarchy, TlbHierarchyConfig, TlbLevel};
+//!
+//! let mut pmem = PhysicalMemory::new(64 << 20);
+//! let mut space = AddressSpace::new(1);
+//! let vma = space.mmap_anonymous(&mut pmem, 8 << 20, ThpPolicy::Always)?;
+//!
+//! let mut tlbs = TlbHierarchy::new(TlbHierarchyConfig::sandybridge());
+//! let first = tlbs.lookup(vma.base(), &space).expect("mapped");
+//! assert_eq!(first.level, TlbLevel::PageWalk);
+//! let second = tlbs.lookup(vma.base(), &space).expect("mapped");
+//! assert_eq!(second.level, TlbLevel::L1);
+//! assert!(second.cost_cycles < first.cost_cycles);
+//! # Ok::<(), seesaw_mem::MemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod entry;
+mod fully_assoc;
+mod hierarchy;
+mod set_assoc;
+mod stats;
+mod walker;
+
+pub use config::{TlbConfig, TlbHierarchyConfig};
+pub use entry::TlbEntry;
+pub use fully_assoc::FullyAssocTlb;
+pub use hierarchy::{TlbHierarchy, TlbLevel, TlbLookup};
+pub use set_assoc::SetAssocTlb;
+pub use stats::TlbStats;
+pub use walker::{PageWalker, WalkResult};

@@ -1,0 +1,41 @@
+//! Fragmentation study: how memhog pressure erodes the OS's ability to
+//! build superpages, and how SEESAW's benefit follows the coverage —
+//! the dynamic behind the paper's Figs. 3 and 12.
+//!
+//! ```sh
+//! cargo run --release --example fragmentation_study
+//! ```
+
+use seesaw_sim::{L1DesignKind, RunConfig, System, Table};
+
+fn main() {
+    let mut table = Table::new(vec![
+        "memhog",
+        "coverage",
+        "super refs",
+        "perf gain",
+        "energy gain",
+    ]);
+
+    println!("fragmenting memory under olio (64KB L1, OoO @ 1.33GHz)…\n");
+    for memhog in [0u32, 20, 40, 60, 80] {
+        let config = RunConfig::paper("olio")
+            .l1_size(64)
+            .memhog(memhog)
+            .instructions(500_000);
+        let baseline = System::build(&config).run();
+        let seesaw = System::build(&config.clone().design(L1DesignKind::Seesaw)).run();
+        table.row(vec![
+            format!("{memhog}%"),
+            format!("{:.1}%", seesaw.superpage_coverage * 100.0),
+            format!("{:.1}%", seesaw.superpage_ref_fraction * 100.0),
+            format!("{:.2}%", seesaw.runtime_improvement_pct(&baseline)),
+            format!("{:.2}%", seesaw.energy_savings_pct(&baseline)),
+        ]);
+    }
+
+    println!("{table}");
+    println!("The OS's compaction keeps coverage high under moderate pressure");
+    println!("(the paper's §III-C observation); only extreme fragmentation");
+    println!("starves SEESAW — and even then it never does worse than baseline.");
+}

@@ -1,0 +1,29 @@
+//! Umbrella crate for the SEESAW reproduction.
+//!
+//! Re-exports every sub-crate under one roof for the repository-level
+//! examples and integration tests. Library users normally depend on the
+//! individual crates (`seesaw-sim` for full-system runs, `seesaw-core`
+//! for the cache microarchitecture, `seesaw-mem` for the OS model, …).
+//!
+//! # Example
+//!
+//! ```
+//! use seesaw_repro::sim::{L1DesignKind, RunConfig, System};
+//!
+//! let config = RunConfig::quick("astar").design(L1DesignKind::Seesaw);
+//! let result = System::build(&config).run();
+//! assert!(result.totals.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use seesaw_cache as cache;
+pub use seesaw_coherence as coherence;
+pub use seesaw_core as core;
+pub use seesaw_cpu as cpu;
+pub use seesaw_energy as energy;
+pub use seesaw_mem as mem;
+pub use seesaw_sim as sim;
+pub use seesaw_tlb as tlb;
+pub use seesaw_workloads as workloads;
