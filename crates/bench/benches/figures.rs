@@ -31,7 +31,7 @@ fn bench_fig2(c: &mut Criterion) {
 fn bench_fig3(c: &mut Criterion) {
     sampled(c, "fig3_coverage_one_workload", || {
         let config = RunConfig::paper("redis").memhog(40);
-        System::build(&config).superpage_coverage();
+        System::build(&config).unwrap().superpage_coverage();
     });
 }
 
@@ -49,8 +49,11 @@ fn run_pair(workload: &str, size: u64, cpu: CpuKind) -> f64 {
         .l1_size(size)
         .cpu(cpu)
         .instructions(BUDGET);
-    let base = System::build(&cfg).run();
-    let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw)).run();
+    let base = System::build(&cfg).unwrap().run().unwrap();
+    let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw))
+        .unwrap()
+        .run()
+        .unwrap();
     seesaw.runtime_improvement_pct(&base)
 }
 
@@ -63,7 +66,10 @@ fn bench_runtime_figures(c: &mut Criterion) {
             let cfg = RunConfig::paper("olio")
                 .frequency(f)
                 .instructions(BUDGET / 2);
-            System::build(&cfg.clone().design(L1DesignKind::Seesaw)).run();
+            System::build(&cfg.clone().design(L1DesignKind::Seesaw))
+                .unwrap()
+                .run()
+                .unwrap();
         }
     });
     sampled(c, "fig9_runtime_inorder_slice", || {
@@ -74,8 +80,11 @@ fn bench_runtime_figures(c: &mut Criterion) {
 fn bench_energy_figures(c: &mut Criterion) {
     sampled(c, "fig10_fig11_energy_slice", || {
         let cfg = RunConfig::paper("cann").l1_size(64).instructions(BUDGET);
-        let base = System::build(&cfg).run();
-        let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw)).run();
+        let base = System::build(&cfg).unwrap().run().unwrap();
+        let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw))
+            .unwrap()
+            .run()
+            .unwrap();
         seesaw.energy_savings_pct(&base);
         seesaw.energy.savings_split(&base.energy);
     });
@@ -88,28 +97,33 @@ fn bench_sensitivity_figures(c: &mut Criterion) {
             .memhog(60)
             .design(L1DesignKind::Seesaw)
             .instructions(BUDGET);
-        System::build(&cfg).run();
+        System::build(&cfg).unwrap().run().unwrap();
     });
     sampled(c, "fig13_tft_slice", || {
         let mut cfg = RunConfig::paper("g500")
             .design(L1DesignKind::Seesaw)
             .instructions(BUDGET);
         cfg.tft_entries = 12;
-        System::build(&cfg).run().seesaw.tft_miss_fraction_of_super();
+        System::build(&cfg)
+            .unwrap()
+            .run()
+            .unwrap()
+            .seesaw
+            .tft_miss_fraction_of_super();
     });
     sampled(c, "fig14_alternatives_slice", || {
         let cfg = RunConfig::paper("mcf")
             .l1_size(128)
             .design(L1DesignKind::Pipt { ways: 4 })
             .instructions(BUDGET);
-        System::build(&cfg).run();
+        System::build(&cfg).unwrap().run().unwrap();
     });
     sampled(c, "fig15_way_prediction_slice", || {
         let cfg = RunConfig::paper("tunk")
             .l1_size(64)
             .design(L1DesignKind::SeesawWithWayPrediction)
             .instructions(BUDGET);
-        System::build(&cfg).run();
+        System::build(&cfg).unwrap().run().unwrap();
     });
 }
 

@@ -1,11 +1,11 @@
 //! Fig. 10: memory-hierarchy energy savings.
 
-use seesaw_bench::{instruction_budget, FULL};
+use seesaw_bench::{instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig10, fig10_table};
 
 fn main() {
     let n = instruction_budget(FULL);
     println!("Fig. 10 — %% memory-hierarchy energy saved ({n} instructions)\n");
-    println!("{}", fig10_table(&fig10(n)));
+    println!("{}", fig10_table(&ok_or_exit(fig10(n))));
     println!("Paper shape: 10-20% savings; in-order slightly above out-of-order.");
 }

@@ -1,11 +1,11 @@
 //! Fig. 13: TFT miss analysis (12/16/20-entry TFTs).
 
-use seesaw_bench::{instruction_budget, FULL};
+use seesaw_bench::{instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig13, fig13_table};
 
 fn main() {
     let n = instruction_budget(FULL);
     println!("Fig. 13 — %% of superpage accesses missed by the TFT ({n} instructions)\n");
-    println!("{}", fig13_table(&fig13(n)));
+    println!("{}", fig13_table(&ok_or_exit(fig13(n))));
     println!("Paper shape: 16 entries keep misses <10% worst-case; most TFT misses are L1 misses.");
 }

@@ -1,12 +1,12 @@
 //! Fig. 15: way prediction vs SEESAW vs the combination.
 
-use seesaw_bench::{instruction_budget, FULL};
+use seesaw_bench::{instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig15, fig15_table};
 
 fn main() {
     let n = instruction_budget(FULL);
     println!("Fig. 15 — WP / SEESAW / WP+SEESAW, 64KB @ 1.33GHz ({n} instructions)\n");
-    println!("{}", fig15_table(&fig15(n)));
+    println!("{}", fig15_table(&ok_or_exit(fig15(n))));
     println!("Paper shape: WP alone can degrade perf on poor-locality workloads;");
     println!("SEESAW never degrades; WP+SEESAW saves the most energy.");
 }

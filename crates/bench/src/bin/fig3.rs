@@ -1,10 +1,11 @@
 //! Fig. 3: superpage coverage of each workload's footprint under
 //! memhog-driven fragmentation.
 
+use seesaw_bench::ok_or_exit;
 use seesaw_sim::experiments::{fig3, fig3_table};
 
 fn main() {
     println!("Fig. 3 — %% of memory footprint backed by 2MB superpages\n");
-    println!("{}", fig3_table(&fig3()));
+    println!("{}", fig3_table(&ok_or_exit(fig3())));
     println!("Paper shape: 65%+ at memhog(0), ample through 40-60%, collapse at 80%.");
 }

@@ -1,12 +1,12 @@
 //! Fig. 7: per-workload runtime improvement (OoO, 1.33GHz, 32-128KB).
 
-use seesaw_bench::{instruction_budget, FULL};
+use seesaw_bench::{instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig7, fig7_table};
 use seesaw_sim::BarChart;
 
 fn main() {
     let n = instruction_budget(FULL);
-    let rows = fig7(n);
+    let rows = ok_or_exit(fig7(n));
     println!("Fig. 7 — %% runtime improvement, OoO @ 1.33GHz ({n} instructions)\n");
     println!("{}", fig7_table(&rows));
     let mut chart = BarChart::new("64KB runtime improvement per workload", "%");

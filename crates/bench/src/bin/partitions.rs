@@ -1,12 +1,12 @@
 //! §IV-B4 ablation: ways-per-partition sweep.
 
-use seesaw_bench::{instruction_budget, FULL};
+use seesaw_bench::{instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{partition_ablation, partition_table};
 
 fn main() {
     let n = instruction_budget(FULL);
     println!("Partition-size ablation (§IV-B4), redis 64KB OoO @ 1.33GHz ({n} instructions)\n");
-    println!("{}", partition_table(&partition_ablation(n)));
+    println!("{}", partition_table(&ok_or_exit(partition_ablation(n))));
     println!("The paper's 4-way partitions balance lookup width against");
     println!("partition-local insertion pressure.");
 }

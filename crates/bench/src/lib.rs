@@ -18,6 +18,16 @@ pub fn instruction_budget(default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Unwraps an experiment driver's result, printing the error to stderr
+/// and exiting with status 1 on failure (binaries have no caller to
+/// propagate to).
+pub fn ok_or_exit<T>(result: Result<T, seesaw_sim::SimError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// The standard full-experiment budget.
 pub const FULL: u64 = 2_000_000;
 

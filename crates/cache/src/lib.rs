@@ -42,6 +42,6 @@ pub use hierarchy::{MemoryLevel, OuterHierarchy, OuterHierarchyConfig};
 pub use line::{LineState, MoesiState};
 pub use prefetch::{PrefetchStats, StreamPrefetcher};
 pub use replacement::LruTracker;
-pub use set_assoc::{AccessResult, EvictedLine, SetAssocCache, WayMask};
+pub use set_assoc::{AccessResult, EvictedLine, ResidentLine, SetAssocCache, WayMask};
 pub use stats::CacheStats;
 pub use waypred::MruWayPredictor;

@@ -101,6 +101,19 @@ pub struct EvictedLine {
     pub dirty: bool,
 }
 
+/// A valid line reported by [`SetAssocCache::resident_lines`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentLine {
+    /// Set the line occupies.
+    pub set: usize,
+    /// Way the line occupies.
+    pub way: usize,
+    /// Physical line address.
+    pub ptag: u64,
+    /// Whether the line holds dirty data.
+    pub dirty: bool,
+}
+
 /// The cache array. Set selection is the caller's job (via
 /// [`CacheConfig::set_index`]) because it depends on the indexing policy
 /// and, for SEESAW, on the partition decoder.
@@ -275,6 +288,23 @@ impl SetAssocCache {
     /// The way a resident line occupies, if any (full-width peek).
     pub fn resident_way(&self, set: usize, ptag: u64) -> Option<usize> {
         self.peek(set, ptag, WayMask::all(self.config.ways))
+    }
+
+    /// Iterates every valid line without touching LRU or statistics —
+    /// the audit hook used by the differential checker to verify, e.g.,
+    /// that no line of a migrated-away frame survived a promotion sweep
+    /// and that every line sits in a partition its physical address can
+    /// name.
+    pub fn resident_lines(&self) -> impl Iterator<Item = ResidentLine> + '_ {
+        let ways = self.config.ways;
+        self.lines.iter().enumerate().filter_map(move |(i, slot)| {
+            slot.filter(|l| l.coh.is_valid()).map(|l| ResidentLine {
+                set: i / ways,
+                way: i % ways,
+                ptag: l.ptag,
+                dirty: l.coh.is_dirty(),
+            })
+        })
     }
 
     /// Number of valid lines.

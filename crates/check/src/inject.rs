@@ -1,0 +1,340 @@
+//! The seeded fault injector.
+//!
+//! The simulator used to exercise page-table churn with a single
+//! hard-coded toggle (one splinter, one promotion, alternating at a fixed
+//! interval). The injector generalises that into a schedulable event
+//! source: given a seed and a mean interval, it fires a randomized stream
+//! of the transitions SEESAW must survive — splinters, promotions, TLB
+//! shootdowns, TFT conflict storms, context switches, and
+//! physical-memory pressure — at randomized points in the instruction
+//! stream. The whole schedule is a pure function of the seed, so any
+//! failure the checker reports can be reproduced by rerunning with the
+//! printed seed.
+
+/// The kinds of fault the injector can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Splinter a currently-promoted 2 MB region into base pages.
+    Splinter,
+    /// Promote a base-paged 2 MB region into a superpage.
+    Promote,
+    /// Deliver a spurious TLB shootdown for a mapped page.
+    TlbShootdown,
+    /// Storm the TFT with fills for conflicting superpage regions.
+    TftStorm,
+    /// Switch address-space context (flushes the TFT).
+    ContextSwitch,
+    /// Grab physical memory to fragment the allocator / force OOM paths.
+    MemPressure,
+    /// Release previously grabbed pressure memory.
+    MemRelease,
+}
+
+impl FaultKind {
+    /// Every kind, in a fixed order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::Splinter,
+        FaultKind::Promote,
+        FaultKind::TlbShootdown,
+        FaultKind::TftStorm,
+        FaultKind::ContextSwitch,
+        FaultKind::MemPressure,
+        FaultKind::MemRelease,
+    ];
+}
+
+/// Deliberate bug switches: each knob disables one invalidation step so
+/// tests can prove the shadow checker catches the resulting corruption.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Skip the TFT invalidation that must accompany a splinter
+    /// (breaks the §IV-C2 precision invariant).
+    pub drop_tft_invalidation_on_splinter: bool,
+    /// Skip the L1 sweep that must accompany a promotion's frame
+    /// migration (leaves stale lines of the freed frames resident).
+    pub drop_promotion_sweep: bool,
+}
+
+impl ChaosConfig {
+    /// True if any deliberate bug is armed.
+    pub fn any(&self) -> bool {
+        self.drop_tft_invalidation_on_splinter || self.drop_promotion_sweep
+    }
+}
+
+/// Injector schedule: which faults may fire, how often, and the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed for the fault schedule (print it to reproduce a failure).
+    pub seed: u64,
+    /// Mean instructions between faults (randomized per event).
+    pub mean_interval: u64,
+    /// Allow [`FaultKind::Splinter`].
+    pub splinters: bool,
+    /// Allow [`FaultKind::Promote`].
+    pub promotions: bool,
+    /// Allow [`FaultKind::TlbShootdown`].
+    pub shootdowns: bool,
+    /// Allow [`FaultKind::TftStorm`].
+    pub tft_storms: bool,
+    /// Allow [`FaultKind::ContextSwitch`].
+    pub context_switches: bool,
+    /// Allow [`FaultKind::MemPressure`] / [`FaultKind::MemRelease`].
+    pub mem_pressure: bool,
+    /// Deliberate bug switches (all off for correctness runs).
+    pub chaos: ChaosConfig,
+}
+
+impl FaultConfig {
+    /// Every fault kind enabled at the given seed, with a mean interval
+    /// of 20 k instructions and no deliberate bugs.
+    pub fn all(seed: u64) -> Self {
+        Self {
+            seed,
+            mean_interval: 20_000,
+            splinters: true,
+            promotions: true,
+            shootdowns: true,
+            tft_storms: true,
+            context_switches: true,
+            mem_pressure: true,
+            chaos: ChaosConfig::default(),
+        }
+    }
+
+    /// Overrides the mean inter-fault interval.
+    pub fn mean_interval(mut self, instructions: u64) -> Self {
+        self.mean_interval = instructions.max(1);
+        self
+    }
+
+    /// Arms the given deliberate bug switches.
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    fn enabled_kinds(&self) -> Vec<FaultKind> {
+        let mut kinds = Vec::new();
+        if self.splinters {
+            kinds.push(FaultKind::Splinter);
+        }
+        if self.promotions {
+            kinds.push(FaultKind::Promote);
+        }
+        if self.shootdowns {
+            kinds.push(FaultKind::TlbShootdown);
+        }
+        if self.tft_storms {
+            kinds.push(FaultKind::TftStorm);
+        }
+        if self.context_switches {
+            kinds.push(FaultKind::ContextSwitch);
+        }
+        if self.mem_pressure {
+            kinds.push(FaultKind::MemPressure);
+            kinds.push(FaultKind::MemRelease);
+        }
+        kinds
+    }
+}
+
+/// Counts of faults actually fired, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionStats {
+    /// Splinters fired.
+    pub splinters: u64,
+    /// Promotions fired.
+    pub promotions: u64,
+    /// Spurious TLB shootdowns fired.
+    pub shootdowns: u64,
+    /// TFT conflict storms fired.
+    pub tft_storms: u64,
+    /// Context switches fired.
+    pub context_switches: u64,
+    /// Memory-pressure grabs fired.
+    pub mem_pressure: u64,
+    /// Memory-pressure releases fired.
+    pub mem_releases: u64,
+}
+
+impl InjectionStats {
+    /// Total faults fired across every kind.
+    pub fn total(&self) -> u64 {
+        self.splinters
+            + self.promotions
+            + self.shootdowns
+            + self.tft_storms
+            + self.context_switches
+            + self.mem_pressure
+            + self.mem_releases
+    }
+
+    fn bump(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Splinter => self.splinters += 1,
+            FaultKind::Promote => self.promotions += 1,
+            FaultKind::TlbShootdown => self.shootdowns += 1,
+            FaultKind::TftStorm => self.tft_storms += 1,
+            FaultKind::ContextSwitch => self.context_switches += 1,
+            FaultKind::MemPressure => self.mem_pressure += 1,
+            FaultKind::MemRelease => self.mem_releases += 1,
+        }
+    }
+}
+
+/// A seeded, schedulable fault source (see the module docs).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    kinds: Vec<FaultKind>,
+    rng: SplitMix64,
+    next_at: u64,
+    stats: InjectionStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector whose schedule is fully determined by
+    /// `config.seed`.
+    pub fn new(config: FaultConfig) -> Self {
+        let kinds = config.enabled_kinds();
+        let mut rng = SplitMix64::new(config.seed);
+        let next_at = interval(&mut rng, config.mean_interval);
+        Self {
+            config,
+            kinds,
+            rng,
+            next_at,
+            stats: InjectionStats::default(),
+        }
+    }
+
+    /// The configuration the injector was built with.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Asks whether a fault fires at the given executed-instruction count.
+    /// Returns the kind to apply, advancing the schedule; `None` between
+    /// scheduled points or when no kinds are enabled.
+    pub fn poll(&mut self, executed: u64) -> Option<FaultKind> {
+        if self.kinds.is_empty() || executed < self.next_at {
+            return None;
+        }
+        self.next_at = executed + interval(&mut self.rng, self.config.mean_interval);
+        let kind = self.kinds[(self.rng.next() % self.kinds.len() as u64) as usize];
+        self.stats.bump(kind);
+        Some(kind)
+    }
+
+    /// A deterministic choice in `0..n`, for the fault-application code to
+    /// pick targets (which region to splinter, which page to shoot down)
+    /// from the same seeded stream.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty range");
+        (self.rng.next() % n as u64) as usize
+    }
+
+    /// Counts of faults fired so far.
+    pub fn stats(&self) -> InjectionStats {
+        self.stats
+    }
+}
+
+/// A randomized inter-fault gap in `[mean/2, 3*mean/2)` — jittered but
+/// never degenerate, so every enabled kind gets exercised in a run.
+fn interval(rng: &mut SplitMix64, mean: u64) -> u64 {
+    let mean = mean.max(2);
+    mean / 2 + rng.next() % mean
+}
+
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(config: FaultConfig, horizon: u64) -> Vec<(u64, FaultKind)> {
+        let mut injector = FaultInjector::new(config);
+        let mut fired = Vec::new();
+        for executed in 0..horizon {
+            if let Some(kind) = injector.poll(executed) {
+                fired.push((executed, kind));
+            }
+        }
+        fired
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = drain(FaultConfig::all(0xfa17).mean_interval(500), 100_000);
+        let b = drain(FaultConfig::all(0xfa17).mean_interval(500), 100_000);
+        assert_eq!(a, b);
+        let c = drain(FaultConfig::all(0xdead).mean_interval(500), 100_000);
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn every_enabled_kind_eventually_fires() {
+        let fired = drain(FaultConfig::all(7).mean_interval(100), 200_000);
+        for kind in FaultKind::ALL {
+            assert!(
+                fired.iter().any(|&(_, k)| k == kind),
+                "{kind:?} never fired"
+            );
+        }
+        let mut injector = FaultInjector::new(FaultConfig::all(7).mean_interval(100));
+        for executed in 0..200_000 {
+            injector.poll(executed);
+        }
+        assert_eq!(injector.stats().total(), fired.len() as u64);
+    }
+
+    #[test]
+    fn disabled_kinds_never_fire() {
+        let mut config = FaultConfig::all(9).mean_interval(100);
+        config.splinters = false;
+        config.mem_pressure = false;
+        let fired = drain(config, 100_000);
+        assert!(!fired.is_empty());
+        assert!(fired.iter().all(|&(_, k)| k != FaultKind::Splinter
+            && k != FaultKind::MemPressure
+            && k != FaultKind::MemRelease));
+    }
+
+    #[test]
+    fn intervals_are_jittered_around_the_mean() {
+        let fired = drain(FaultConfig::all(11).mean_interval(1_000), 2_000_000);
+        assert!(fired.len() > 1_000, "roughly one fault per mean interval");
+        let gaps: Vec<u64> = fired.windows(2).map(|w| w[1].0 - w[0].0).collect();
+        assert!(gaps.iter().any(|&g| g != gaps[0]), "gaps vary");
+        assert!(gaps.iter().all(|&g| (500..1_500).contains(&g)));
+    }
+
+    #[test]
+    fn pick_stays_in_range() {
+        let mut injector = FaultInjector::new(FaultConfig::all(3));
+        for n in 1..50 {
+            for _ in 0..20 {
+                assert!(injector.pick(n) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Fault injection and differential checking for SEESAW's dangerous
+//! transitions.
+//!
+//! SEESAW's correctness rests on a handful of fragile invariants: the TFT
+//! must never vouch for a region after its superpage is splintered, the
+//! partition-local insertion policy must keep every line reachable by both
+//! the fast path and the coherence path, and promotions must not leave
+//! stale lines of the migrated-away frames in the L1. This crate provides
+//! the two tools the simulator uses to attack those invariants:
+//!
+//! * [`ShadowChecker`] — a flat functional VA→data reference memory that
+//!   runs in lockstep with the timing system. Every simulated store writes
+//!   a fresh stamp to both the virtual and the physical shadow; every load
+//!   checks that the stamp reachable through the hardware's translation
+//!   matches the stamp the program last wrote. Any divergence (a stale
+//!   translation surviving a shootdown, data lost across a promotion copy,
+//!   a TFT entry vouching for a splintered region) produces a structured
+//!   [`Violation`] carrying the recent event history.
+//! * [`FaultInjector`] — a seeded, schedulable event source that fires
+//!   superpage splinters, promotions, TLB shootdowns, TFT conflict
+//!   storms, context switches, and physical-memory pressure at randomized
+//!   points in the instruction stream. [`ChaosConfig`] knobs deliberately
+//!   break individual invalidation steps so tests can prove the checker
+//!   detects real bugs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inject;
+mod shadow;
+
+pub use inject::{ChaosConfig, FaultConfig, FaultInjector, FaultKind, InjectionStats};
+pub use shadow::{
+    AccessCheck, CheckEvent, CheckerSummary, EventRecord, ShadowChecker, Violation,
+    ViolationCounters, ViolationKind,
+};

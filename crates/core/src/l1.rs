@@ -1,7 +1,8 @@
 //! The SEESAW L1 data cache (§IV, Fig. 4, Table I).
 
 use seesaw_cache::{
-    CacheConfig, CacheStats, IndexPolicy, MoesiState, MruWayPredictor, SetAssocCache, WayMask,
+    CacheConfig, CacheStats, IndexPolicy, MoesiState, MruWayPredictor, ResidentLine,
+    SetAssocCache, WayMask,
 };
 use seesaw_mem::{PageSize, PageTableOp, PhysAddr, VirtAddr};
 
@@ -263,6 +264,53 @@ impl SeesawL1 {
         self.waypred.as_ref().map(|wp| wp.accuracy())
     }
 
+    /// Asks the TFT whether it vouches for `va`, without counting the
+    /// probe as a demand lookup. Audit hook for the differential checker's
+    /// splinter-precision invariant (§IV-C2).
+    pub fn tft_probe(&self, va: VirtAddr) -> bool {
+        self.tft.probe(va)
+    }
+
+    /// Iterates every valid line without touching LRU or statistics.
+    /// Audit hook for the differential checker's promotion-sweep
+    /// invariant.
+    pub fn resident_lines(&self) -> impl Iterator<Item = ResidentLine> + '_ {
+        self.cache.resident_lines()
+    }
+
+    /// Counts resident lines that sit outside the partition their
+    /// physical address names. Under a partition-deterministic insertion
+    /// policy (`4way`) this must be zero, or the narrow coherence path
+    /// cannot find them (§IV-C1); under VA-partition insertion the count
+    /// is meaningless and `None` is returned.
+    pub fn audit_partition_reachability(&self) -> Option<usize> {
+        if !self.config.insertion.lines_are_partition_deterministic() {
+            return None;
+        }
+        let line_bytes = self.config.cache.line_bytes;
+        let unreachable = self
+            .cache
+            .resident_lines()
+            .filter(|line| {
+                let pa = PhysAddr::new(line.ptag * line_bytes);
+                !self
+                    .decoder
+                    .mask_of(self.decoder.partition_of_pa(pa))
+                    .contains(line.way)
+            })
+            .count();
+        Some(unreachable)
+    }
+
+    /// True if the line holding `pa` is resident, checked side-effect
+    /// free (no LRU, no coherence transition, no counters).
+    pub fn peek_pa(&self, pa: PhysAddr) -> bool {
+        let set = self.config.cache.set_index_physical(pa);
+        self.cache
+            .peek(set, self.ptag(pa), self.decoder.full_mask())
+            .is_some()
+    }
+
     fn ptag(&self, pa: PhysAddr) -> u64 {
         self.config.cache.line_of(pa)
     }
@@ -273,13 +321,12 @@ impl L1DataCache for SeesawL1 {
         let set = self.config.cache.set_index(req.va, None);
         let p_va = self.decoder.partition_of_va(req.va);
         let ptag = self.ptag(req.pa);
-        let tft_hit = self.tft.lookup(req.va);
         // The TFT is kept precise by invalidation/flush, so a hit proves a
-        // superpage access.
-        debug_assert!(
-            !tft_hit || req.page_size.is_superpage(),
-            "TFT must never claim a base page is a superpage"
-        );
+        // superpage access. That invariant is not asserted here: the
+        // differential checker (seesaw-check) owns it, so fault-injection
+        // tests can break the invalidation on purpose and watch the checker
+        // report it instead of crashing inside the cache model.
+        let tft_hit = self.tft.lookup(req.va);
 
         let (lookup_mask, latency, case, fast_held) = if tft_hit {
             // Partition lookup only (Table I rows 1-2).

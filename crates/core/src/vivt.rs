@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use seesaw_cache::{CacheConfig, CacheStats, IndexPolicy, SetAssocCache, WayMask};
-use seesaw_mem::PhysAddr;
+use seesaw_mem::{PageTableOp, PhysAddr};
 
 use crate::{L1AccessOutcome, L1DataCache, L1Request, L1Timing, LookupCase};
 
@@ -28,6 +28,10 @@ pub struct SynonymStats {
     pub synonym_remaps: u64,
     /// Coherence probes resolved through the reverse map.
     pub reverse_lookups: u64,
+    /// Page-table operations that triggered a back-pointer sweep.
+    pub mapping_sweeps: u64,
+    /// Lines evicted by those sweeps.
+    pub swept_lines: u64,
 }
 
 /// The VIVT L1.
@@ -84,6 +88,66 @@ impl VivtL1 {
     /// Synonym-machinery counters.
     pub fn synonym_stats(&self) -> SynonymStats {
         self.stats
+    }
+
+    /// Reacts to a page-table operation. A virtually-tagged array keeps
+    /// hitting on a VA whose translation changed underneath it, and its
+    /// back-pointers keep naming the old frames — so unlike a conventional
+    /// physically-tagged L1, VIVT *must* observe remappings. On a
+    /// promotion the frames migrate: every line whose back-pointer falls
+    /// in a migrated-away frame is evicted (stale data *and* a stale
+    /// writeback address otherwise). On an unmap the page's virtual lines
+    /// are evicted. A splinter leaves PAs unchanged, so nothing to do.
+    pub fn handle_op(&mut self, op: &PageTableOp) -> u64 {
+        match op {
+            PageTableOp::Mapped(_) | PageTableOp::Splintered(_) => 0,
+            PageTableOp::Unmapped(page) => {
+                let first = page.base().raw() / self.config.line_bytes;
+                let count = page.size().bytes() / self.config.line_bytes;
+                self.sweep_vlines(|vline| vline >= first && vline < first + count);
+                0
+            }
+            PageTableOp::Promoted { old_frames, .. } => {
+                let ranges: Vec<(u64, u64)> = old_frames
+                    .iter()
+                    .map(|f| {
+                        let first = f.base().raw() / self.config.line_bytes;
+                        let count = f.size().bytes() / self.config.line_bytes;
+                        (first, first + count)
+                    })
+                    .collect();
+                let reverse = &self.reverse;
+                let stale: Vec<u64> = ranges
+                    .iter()
+                    .flat_map(|&(lo, hi)| lo..hi)
+                    .filter_map(|pline| reverse.get(&pline).copied())
+                    .collect();
+                self.stats.mapping_sweeps += 1;
+                for vline in stale {
+                    self.stats.swept_lines += 1;
+                    self.evict_alias(vline);
+                }
+                0
+            }
+        }
+    }
+
+    /// Every physical line the back-pointer maps currently reference —
+    /// the audit surface the differential checker scans for mappings that
+    /// outlived their frames.
+    pub fn mapped_plines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.reverse.keys().copied()
+    }
+
+    fn sweep_vlines<F: Fn(u64) -> bool>(&mut self, pred: F) {
+        let stale: Vec<u64> = self.forward.keys().copied().filter(|&v| pred(v)).collect();
+        if !stale.is_empty() {
+            self.stats.mapping_sweeps += 1;
+        }
+        for vline in stale {
+            self.stats.swept_lines += 1;
+            self.evict_alias(vline);
+        }
     }
 
     fn vline(&self, req: &L1Request) -> u64 {
@@ -258,6 +322,42 @@ mod tests {
         // A physical line never cached is correctly absent.
         let (absent, _) = l1.coherence_probe(PhysAddr::new(0xff040), false);
         assert!(!absent);
+    }
+
+    #[test]
+    fn promotion_sweeps_stale_back_pointers() {
+        use seesaw_mem::{PageFrame, VirtPage};
+        let mut l1 = VivtL1::new(32 << 10, 8, timing());
+        // A line backed by a base frame that is about to migrate.
+        l1.access(&req(0x20_0040, 0x8040, true));
+        let op = PageTableOp::Promoted {
+            page: VirtPage::containing(VirtAddr::new(0x20_0000), PageSize::Super2M),
+            old_frames: vec![PageFrame::new(PhysAddr::new(0x8000), PageSize::Base4K)],
+        };
+        l1.handle_op(&op);
+        assert_eq!(l1.synonym_stats().mapping_sweeps, 1);
+        assert_eq!(l1.synonym_stats().swept_lines, 1);
+        // The back-pointer to the freed frame is gone: a probe by the old
+        // PA finds nothing, and no mapping references the old frame.
+        let (present, _) = l1.coherence_probe(PhysAddr::new(0x8040), false);
+        assert!(!present, "stale line was swept");
+        assert!(l1.mapped_plines().all(|p| !(0x200..0x240).contains(&p)));
+    }
+
+    #[test]
+    fn unmap_sweeps_the_pages_virtual_lines() {
+        use seesaw_mem::VirtPage;
+        let mut l1 = VivtL1::new(32 << 10, 8, timing());
+        l1.access(&req(0x20_0040, 0x8040, true));
+        l1.access(&req(0x30_0040, 0x9040, true));
+        let op = PageTableOp::Unmapped(VirtPage::containing(
+            VirtAddr::new(0x20_0000),
+            PageSize::Base4K,
+        ));
+        l1.handle_op(&op);
+        assert_eq!(l1.synonym_stats().swept_lines, 1, "only the unmapped page");
+        let out = l1.access(&req(0x30_0040, 0x9040, false));
+        assert!(out.hit, "unrelated line untouched");
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct ThpStats {
     pub base_fallback: u64,
     /// Compaction runs triggered.
     pub compaction_runs: u64,
+    /// 2 MB-aligned slices that wanted a superpage but were demoted to
+    /// base pages (graceful degradation under fragmentation/OOM).
+    pub demoted_slices: u64,
 }
 
 impl ThpStats {
@@ -101,6 +104,9 @@ pub(crate) fn allocate_backing(
             }
         }
         // Base-page path: back the next (up to) 2 MB slice with 4 KB frames.
+        if want_super {
+            stats.demoted_slices += 1;
+        }
         let slice_bytes = remaining.min(PageSize::Super2M.bytes());
         let count = slice_bytes.div_ceil(PageSize::Base4K.bytes());
         let mut frames = Vec::with_capacity(count as usize);

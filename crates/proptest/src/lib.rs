@@ -1,0 +1,330 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses: the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
+//! `any::<T>()`, integer-range strategies, tuple strategies, and
+//! `prop::collection::vec`.
+//!
+//! The build environment has no registry access, so the real crate cannot
+//! be resolved. This shim runs each property over a deterministic batch of
+//! generated cases (seeded from the property's name, so failures
+//! reproduce) and reports the failing inputs; it does not shrink.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of generated cases per property.
+pub const CASES: u32 = 96;
+
+/// Per-block configuration, set with `#![proptest_config(..)]` inside
+/// [`proptest!`]. Mirrors the real crate's struct; only `cases` has any
+/// effect here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Generated cases per property in the block.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A source of generated values for one property case.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the deterministic generator for a named property.
+    pub fn for_property(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(seed))
+    }
+}
+
+/// A generator of values of one type — the shim's take on proptest's
+/// `Strategy` (generation only; no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: core::fmt::Debug + Clone;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`]: the type's whole domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Produces a strategy covering the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + core::fmt::Debug + Clone {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.gen::<$ty>()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.gen::<bool>()
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for vectors with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.0.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Root namespace mirroring the real crate's `prop` re-export.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property, with optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property, with optional format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property, with optional format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body over [`CASES`] generated cases.
+/// On failure the generated inputs are printed before the panic unwinds,
+/// so a case can be reproduced by pasting them into a plain test.
+#[macro_export]
+macro_rules! proptest {
+    // Block-level config: `#![proptest_config(expr)]` as the first item,
+    // matching the real crate's syntax. Only `cases` is honored.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::ProptestConfig::from($config).cases;
+            let mut rng = $crate::TestRng::for_property(stringify!($name));
+            for case in 0..cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let report = ($(format!(
+                    "{} = {:?}",
+                    stringify!($arg),
+                    &$arg
+                ),)+);
+                let outcome = ::std::panic::catch_unwind(
+                    ::core::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest '{}' failed at case {case} with inputs: {}",
+                        stringify!($name),
+                        $crate::tuple_to_vec(report).join(", "),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::TestRng::for_property(stringify!($name));
+            for case in 0..$crate::CASES {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let report = ($(format!(
+                    "{} = {:?}",
+                    stringify!($arg),
+                    &$arg
+                ),)+);
+                let outcome = ::std::panic::catch_unwind(
+                    ::core::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest '{}' failed at case {case} with inputs: {}",
+                        stringify!($name),
+                        $crate::tuple_to_vec(report).join(", "),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// Flattens the per-arg rendering tuple produced by [`proptest!`].
+#[doc(hidden)]
+pub fn tuple_to_vec<T: TupleStrings>(t: T) -> Vec<String> {
+    t.into_strings()
+}
+
+/// Helper converting rendered-argument tuples into `Vec<String>`.
+#[doc(hidden)]
+pub trait TupleStrings {
+    /// Collects each rendered argument.
+    fn into_strings(self) -> Vec<String>;
+}
+
+macro_rules! tuple_strings {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl TupleStrings for ($(tuple_strings!(@ty $name),)+) {
+            fn into_strings(self) -> Vec<String> {
+                let ($($name,)+) = self;
+                vec![$($name),+]
+            }
+        }
+    )*};
+    (@ty $name:ident) => { String };
+}
+tuple_strings! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any_compose(
+            x in 3u64..17,
+            flag in any::<bool>(),
+            v in prop::collection::vec((0u32..5, any::<u16>()), 1..20),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            let _: bool = flag;
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, _b) in v {
+                prop_assert!(a < 5, "a = {}", a);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let gen_once = || {
+            let mut rng = crate::TestRng::for_property("p");
+            crate::Strategy::generate(&(0u64..1000), &mut rng)
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+}

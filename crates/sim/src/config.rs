@@ -1,5 +1,6 @@
 //! Run configuration (the knobs of Tables II and III).
 
+use seesaw_check::FaultConfig;
 use seesaw_core::InsertionPolicy;
 use seesaw_workloads::{catalog, WorkloadSpec};
 
@@ -142,6 +143,13 @@ pub struct RunConfig {
     /// Emit a telemetry [`crate::Sample`] every this many instructions of
     /// the measured window; `None` disables sampling.
     pub sample_interval: Option<u64>,
+    /// Run the differential shadow checker in lockstep with the timing
+    /// model (off by default: it costs a hash lookup per access).
+    pub checker: bool,
+    /// Attach a seeded fault injector firing splinters, promotions,
+    /// shootdowns, TFT storms, context switches, and memory pressure at
+    /// randomized points; `None` disables injection.
+    pub faults: Option<FaultConfig>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -181,6 +189,8 @@ impl RunConfig {
             hit_time_squash_cycles: 0,
             warmup_instructions: None,
             sample_interval: None,
+            checker: false,
+            faults: None,
             seed: 0x5eea,
         }
     }
@@ -226,6 +236,18 @@ impl RunConfig {
     /// Builder: set the instruction budget.
     pub fn instructions(mut self, n: u64) -> Self {
         self.instructions = n;
+        self
+    }
+
+    /// Builder: enable the differential shadow checker.
+    pub fn with_checker(mut self) -> Self {
+        self.checker = true;
+        self
+    }
+
+    /// Builder: attach a fault injector.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 

@@ -1,0 +1,62 @@
+//! Typed simulation errors.
+//!
+//! `System::build` and `System::run` used to panic (via `expect`) on
+//! allocation failure and unmapped accesses. They now return `SimError`,
+//! so drivers can degrade gracefully — fall back to smaller
+//! configurations, report the failing run and continue a sweep — and so
+//! the differential checker can surface an invariant [`Violation`] as an
+//! ordinary error value instead of a crash.
+
+use seesaw_check::Violation;
+use seesaw_mem::MemError;
+
+/// Why a simulation could not be built or completed.
+#[derive(Debug)]
+pub enum SimError {
+    /// Physical memory could not satisfy an allocation the run needs
+    /// (after graceful degradation was already attempted).
+    Mem {
+        /// What the simulator was doing when the allocation failed.
+        context: &'static str,
+        /// The underlying allocator error.
+        source: MemError,
+    },
+    /// A generated reference touched an unmapped virtual address — a bug
+    /// in the workload model or a fault-injection unmap gone wrong.
+    PageFault {
+        /// The faulting virtual address.
+        va: u64,
+    },
+    /// The differential shadow checker caught an invariant violation.
+    /// Boxed because the diagnostic carries the event history.
+    Check(Box<Violation>),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Mem { context, source } => {
+                write!(f, "memory allocation failed while {context}: {source}")
+            }
+            SimError::PageFault { va } => {
+                write!(f, "simulated page fault: va {va:#x} is not mapped")
+            }
+            SimError::Check(violation) => write!(f, "{violation}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Mem { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<Violation> for SimError {
+    fn from(violation: Violation) -> Self {
+        SimError::Check(Box::new(violation))
+    }
+}

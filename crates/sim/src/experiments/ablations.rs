@@ -7,7 +7,7 @@ use seesaw_core::InsertionPolicy;
 use seesaw_workloads::cloud_subset;
 
 use crate::report::pct;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, System, Table};
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
 
 /// One ablation data point.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,19 +33,19 @@ fn cfg64(workload: &str, instructions: u64) -> RunConfig {
 /// §IV-B1: `4way` vs `4way-8way` insertion. The paper saw "only a 1%
 /// difference drop in hit rate with the 4way policy". Returns hit rates
 /// (percent) as `(four_way, four_eight_way)`.
-pub fn insertion_ablation(instructions: u64) -> Vec<AblationRow> {
+pub fn insertion_ablation(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
     cloud_subset()
         .iter()
         .map(|w| {
-            let four = System::build(&cfg64(w.name, instructions)).run();
+            let four = System::build(&cfg64(w.name, instructions))?.run()?;
             let mut cfg = cfg64(w.name, instructions);
             cfg.insertion = InsertionPolicy::FourWayEightWay;
-            let four_eight = System::build(&cfg).run();
-            AblationRow {
+            let four_eight = System::build(&cfg)?.run()?;
+            Ok(AblationRow {
                 workload: w.name,
                 value_a: (1.0 - four.l1.miss_rate()) * 100.0,
                 value_b: (1.0 - four_eight.l1.miss_rate()) * 100.0,
-            }
+            })
         })
         .collect()
 }
@@ -54,22 +54,22 @@ pub fn insertion_ablation(instructions: u64) -> Vec<AblationRow> {
 /// an ideal never-flushed TFT. The paper measured the flush cost at under
 /// 1 % of performance. Returns cycles as `(flushing, ideal)` normalized
 /// to the ideal (percent).
-pub fn asid_flush_ablation(instructions: u64) -> Vec<AblationRow> {
+pub fn asid_flush_ablation(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
     cloud_subset()
         .iter()
         .map(|w| {
             // Aggressive switching: every 100k instructions.
             let mut flushing_cfg = cfg64(w.name, instructions);
             flushing_cfg.context_switch_interval = Some(100_000);
-            let flushing = System::build(&flushing_cfg).run();
+            let flushing = System::build(&flushing_cfg)?.run()?;
             let mut ideal_cfg = cfg64(w.name, instructions);
             ideal_cfg.context_switch_interval = None;
-            let ideal = System::build(&ideal_cfg).run();
-            AblationRow {
+            let ideal = System::build(&ideal_cfg)?.run()?;
+            Ok(AblationRow {
                 workload: w.name,
                 value_a: 100.0 * flushing.totals.cycles as f64 / ideal.totals.cycles as f64,
                 value_b: 100.0,
-            }
+            })
         })
         .collect()
 }
@@ -77,24 +77,24 @@ pub fn asid_flush_ablation(instructions: u64) -> Vec<AblationRow> {
 /// §VI-B: snoopy coherence amplifies probe traffic, so SEESAW's energy
 /// savings grow by "an additional 2-5%" for multithreaded workloads.
 /// Returns energy savings (percent) as `(directory, snoopy)`.
-pub fn snoopy_ablation(instructions: u64) -> Vec<AblationRow> {
+pub fn snoopy_ablation(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
     cloud_subset()
         .iter()
         .map(|w| {
-            let saving = |snoopy: bool| {
+            let saving = |snoopy: bool| -> Result<f64, SimError> {
                 let mut base_cfg = cfg64(w.name, instructions).design(L1DesignKind::BaselineVipt);
                 base_cfg.snoopy = snoopy;
                 let mut seesaw_cfg = cfg64(w.name, instructions);
                 seesaw_cfg.snoopy = snoopy;
-                let base = System::build(&base_cfg).run();
-                let seesaw = System::build(&seesaw_cfg).run();
-                seesaw.energy_savings_pct(&base)
+                let base = System::build(&base_cfg)?.run()?;
+                let seesaw = System::build(&seesaw_cfg)?.run()?;
+                Ok(seesaw.energy_savings_pct(&base))
             };
-            AblationRow {
+            Ok(AblationRow {
                 workload: w.name,
-                value_a: saving(false),
-                value_b: saving(true),
-            }
+                value_a: saving(false)?,
+                value_b: saving(true)?,
+            })
         })
         .collect()
 }
@@ -104,22 +104,22 @@ pub fn snoopy_ablation(instructions: u64) -> Vec<AblationRow> {
 /// extra 4 KB-TLB entries — "improved performance over the baseline by
 /// less than 0.01% in all cases". Returns runtime improvement over the
 /// plain baseline (percent) as `(area_equivalent_baseline, seesaw)`.
-pub fn area_control(instructions: u64) -> Vec<AblationRow> {
+pub fn area_control(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
     cloud_subset()
         .iter()
         .map(|w| {
             let base_cfg = cfg64(w.name, instructions).design(L1DesignKind::BaselineVipt);
-            let base = System::build(&base_cfg).run();
+            let base = System::build(&base_cfg)?.run()?;
             // The TFT's 86 bytes buy roughly 8 more TLB entries.
             let mut bigger_cfg = base_cfg.clone();
             bigger_cfg.l1_tlb_4k_entries = Some(136);
-            let bigger = System::build(&bigger_cfg).run();
-            let seesaw = System::build(&cfg64(w.name, instructions)).run();
-            AblationRow {
+            let bigger = System::build(&bigger_cfg)?.run()?;
+            let seesaw = System::build(&cfg64(w.name, instructions))?.run()?;
+            Ok(AblationRow {
                 workload: w.name,
                 value_a: bigger.runtime_improvement_pct(&base),
                 value_b: seesaw.runtime_improvement_pct(&base),
-            }
+            })
         })
         .collect()
 }
@@ -129,25 +129,25 @@ pub fn area_control(instructions: u64) -> Vec<AblationRow> {
 /// latency and lookup width, so the benefit must survive (it can shrink
 /// a little: prefetching trims the miss stalls that dilute everything).
 /// Returns runtime improvement (percent) as `(no_prefetch, prefetch)`.
-pub fn prefetch_ablation(instructions: u64) -> Vec<AblationRow> {
+pub fn prefetch_ablation(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
     cloud_subset()
         .iter()
         .map(|w| {
-            let gain = |degree: Option<usize>| {
+            let gain = |degree: Option<usize>| -> Result<f64, SimError> {
                 let mut base_cfg =
                     cfg64(w.name, instructions).design(L1DesignKind::BaselineVipt);
                 base_cfg.prefetch_degree = degree;
                 let mut seesaw_cfg = cfg64(w.name, instructions);
                 seesaw_cfg.prefetch_degree = degree;
-                let base = System::build(&base_cfg).run();
-                let seesaw = System::build(&seesaw_cfg).run();
-                seesaw.runtime_improvement_pct(&base)
+                let base = System::build(&base_cfg)?.run()?;
+                let seesaw = System::build(&seesaw_cfg)?.run()?;
+                Ok(seesaw.runtime_improvement_pct(&base))
             };
-            AblationRow {
+            Ok(AblationRow {
                 workload: w.name,
-                value_a: gain(None),
-                value_b: gain(Some(4)),
-            }
+                value_a: gain(None)?,
+                value_b: gain(Some(4))?,
+            })
         })
         .collect()
 }
@@ -169,7 +169,7 @@ mod tests {
 
     #[test]
     fn four_way_insertion_costs_little_hit_rate() {
-        let rows = insertion_ablation(QUICK);
+        let rows = insertion_ablation(QUICK).unwrap();
         for r in &rows {
             let delta = r.value_b - r.value_a;
             assert!(
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn tft_flushing_costs_under_a_percent() {
-        let rows = asid_flush_ablation(QUICK);
+        let rows = asid_flush_ablation(QUICK).unwrap();
         for r in &rows {
             assert!(
                 r.value_a < 101.0,
@@ -197,7 +197,7 @@ mod tests {
 
     #[test]
     fn snoopy_increases_savings() {
-        let rows = snoopy_ablation(QUICK);
+        let rows = snoopy_ablation(QUICK).unwrap();
         let avg_dir: f64 = rows.iter().map(|r| r.value_a).sum::<f64>() / rows.len() as f64;
         let avg_snoop: f64 = rows.iter().map(|r| r.value_b).sum::<f64>() / rows.len() as f64;
         assert!(
@@ -208,7 +208,7 @@ mod tests {
 
     #[test]
     fn seesaw_gains_survive_prefetching() {
-        let rows = prefetch_ablation(QUICK);
+        let rows = prefetch_ablation(QUICK).unwrap();
         for r in &rows {
             assert!(
                 r.value_b > 0.0,
@@ -221,7 +221,7 @@ mod tests {
 
     #[test]
     fn area_equivalent_baseline_gains_almost_nothing() {
-        let rows = area_control(QUICK);
+        let rows = area_control(QUICK).unwrap();
         for r in &rows {
             assert!(
                 r.value_a < 1.0,

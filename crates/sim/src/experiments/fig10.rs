@@ -5,7 +5,7 @@ use seesaw_workloads::catalog;
 
 use crate::report::pct;
 use crate::stats::Summary;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, System, Table};
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
 
 use super::fig7::SIZES_KB;
 
@@ -40,22 +40,22 @@ pub(crate) fn energy_saving(
     freq: Frequency,
     cpu: CpuKind,
     instructions: u64,
-) -> (f64, f64, f64) {
+) -> Result<(f64, f64, f64), SimError> {
     let base_cfg = RunConfig::paper(workload)
         .l1_size(size_kb)
         .frequency(freq)
         .cpu(cpu)
         .instructions(instructions);
-    let base = System::build(&base_cfg).run();
-    let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw)).run();
+    let base = System::build(&base_cfg)?.run()?;
+    let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw))?.run()?;
     let saving = seesaw.energy_savings_pct(&base);
     let (cpu_share, coh_share) = seesaw.energy.savings_split(&base.energy);
-    (saving, cpu_share, coh_share)
+    Ok((saving, cpu_share, coh_share))
 }
 
 /// Fig. 10: energy savings per core kind × frequency × size, summarized
 /// over all workloads.
-pub fn fig10(instructions: u64) -> Vec<Fig10Row> {
+pub fn fig10(instructions: u64) -> Result<Vec<Fig10Row>, SimError> {
     let workloads = catalog();
     let mut rows = Vec::new();
     for (cpu, core) in [(CpuKind::InOrder, "InO"), (CpuKind::OutOfOrder, "OOO")] {
@@ -63,8 +63,8 @@ pub fn fig10(instructions: u64) -> Vec<Fig10Row> {
             for &size_kb in &SIZES_KB {
                 let savings: Vec<f64> = workloads
                     .iter()
-                    .map(|w| energy_saving(w.name, size_kb, freq, cpu, instructions).0)
-                    .collect();
+                    .map(|w| Ok(energy_saving(w.name, size_kb, freq, cpu, instructions)?.0))
+                    .collect::<Result<_, SimError>>()?;
                 rows.push(Fig10Row {
                     core,
                     freq: freq.label(),
@@ -74,12 +74,12 @@ pub fn fig10(instructions: u64) -> Vec<Fig10Row> {
             }
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Fig. 11: per-workload CPU-side vs coherence shares (64 KB, 1.33 GHz,
 /// out-of-order — the paper's configuration).
-pub fn fig11(instructions: u64) -> Vec<Fig11Row> {
+pub fn fig11(instructions: u64) -> Result<Vec<Fig11Row>, SimError> {
     catalog()
         .iter()
         .map(|w| {
@@ -89,12 +89,12 @@ pub fn fig11(instructions: u64) -> Vec<Fig11Row> {
                 Frequency::F1_33,
                 CpuKind::OutOfOrder,
                 instructions,
-            );
-            Fig11Row {
+            )?;
+            Ok(Fig11Row {
                 workload: w.name,
                 cpu_share,
                 coherence_share,
-            }
+            })
         })
         .collect()
 }
@@ -138,7 +138,7 @@ mod tests {
     fn seesaw_always_saves_energy() {
         for name in ["redis", "cann", "astar"] {
             let (saving, _, _) =
-                energy_saving(name, 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK);
+                energy_saving(name, 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK).unwrap();
             assert!(saving > 0.0, "{name}: saving {saving:.2}%");
         }
     }
@@ -148,7 +148,9 @@ mod tests {
         // Paper Fig. 11: canneal/tunkrank attribute ≈⅓ of savings to
         // coherence; quiet SPEC workloads attribute much less.
         let coh = |name: &str| {
-            energy_saving(name, 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK).2
+            energy_saving(name, 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK)
+                .unwrap()
+                .2
         };
         let cann = coh("cann");
         let astar = coh("astar");
@@ -162,7 +164,7 @@ mod tests {
     #[test]
     fn shares_sum_to_at_most_one() {
         let (_, cpu, coh) =
-            energy_saving("tunk", 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK);
+            energy_saving("tunk", 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK).unwrap();
         assert!((cpu + coh - 1.0).abs() < 1e-9);
         assert!((0.0..=1.0).contains(&coh));
     }

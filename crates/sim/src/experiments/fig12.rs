@@ -4,7 +4,7 @@
 use seesaw_workloads::fig12_subset;
 
 use crate::report::pct;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, System, Table};
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
 
 /// memhog pressures of Fig. 12.
 pub const FIG12_MEMHOG: [u32; 3] = [0, 30, 60];
@@ -26,7 +26,7 @@ pub struct Fig12Row {
 }
 
 /// Runs the fragmentation sweep.
-pub fn fig12(instructions: u64) -> Vec<Fig12Row> {
+pub fn fig12(instructions: u64) -> Result<Vec<Fig12Row>, SimError> {
     let mut rows = Vec::new();
     for spec in fig12_subset() {
         for &memhog in &FIG12_MEMHOG {
@@ -36,8 +36,8 @@ pub fn fig12(instructions: u64) -> Vec<Fig12Row> {
                 .cpu(CpuKind::OutOfOrder)
                 .memhog(memhog)
                 .instructions(instructions);
-            let base = System::build(&base_cfg).run();
-            let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw)).run();
+            let base = System::build(&base_cfg)?.run()?;
+            let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw))?.run()?;
             rows.push(Fig12Row {
                 workload: spec.name,
                 memhog,
@@ -47,7 +47,7 @@ pub fn fig12(instructions: u64) -> Vec<Fig12Row> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the rows grouped like the paper's figure (mh0/mh30/mh60 per
@@ -78,8 +78,11 @@ mod tests {
             let cfg = RunConfig::quick("redis")
                 .l1_size(64)
                 .memhog(memhog);
-            let base = System::build(&cfg).run();
-            let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw)).run();
+            let base = System::build(&cfg).unwrap().run().unwrap();
+            let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw))
+                .unwrap()
+                .run()
+                .unwrap();
             (
                 seesaw.runtime_improvement_pct(&base),
                 seesaw.superpage_coverage,

@@ -6,7 +6,7 @@ use seesaw_workloads::catalog;
 
 use crate::report::pct;
 use crate::stats::Summary;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, System, Table};
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
 
 /// One frequency's comparison: SEESAW versus the best alternative.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,7 +43,7 @@ fn alternatives() -> Vec<(String, L1DesignKind, Option<usize>)> {
 }
 
 /// Runs the design-space comparison at 128 KB across the three clocks.
-pub fn fig14(instructions: u64) -> Vec<Fig14Row> {
+pub fn fig14(instructions: u64) -> Result<Vec<Fig14Row>, SimError> {
     let workloads = catalog();
     let mut rows = Vec::new();
     for freq in Frequency::ALL {
@@ -56,29 +56,32 @@ pub fn fig14(instructions: u64) -> Vec<Fig14Row> {
         };
         let baselines: Vec<_> = workloads
             .iter()
-            .map(|w| System::build(&base_of(w.name)).run())
-            .collect();
+            .map(|w| System::build(&base_of(w.name))?.run())
+            .collect::<Result<_, SimError>>()?;
 
-        let eval = |design: L1DesignKind, tlb: Option<usize>| -> (Vec<f64>, Vec<f64>) {
-            workloads
+        let eval = |design: L1DesignKind,
+                    tlb: Option<usize>|
+         -> Result<(Vec<f64>, Vec<f64>), SimError> {
+            let pairs = workloads
                 .iter()
                 .zip(&baselines)
                 .map(|(w, base)| {
                     let mut cfg = base_of(w.name).design(design);
                     cfg.l1_tlb_4k_entries = tlb;
-                    let r = System::build(&cfg).run();
-                    (
+                    let r = System::build(&cfg)?.run()?;
+                    Ok((
                         r.runtime_improvement_pct(base),
                         r.energy_savings_pct(base),
-                    )
+                    ))
                 })
-                .unzip()
+                .collect::<Result<Vec<_>, SimError>>()?;
+            Ok(pairs.into_iter().unzip())
         };
 
-        let (seesaw_perf, seesaw_energy) = eval(L1DesignKind::Seesaw, None);
+        let (seesaw_perf, seesaw_energy) = eval(L1DesignKind::Seesaw, None)?;
         let mut best: Option<(String, Vec<f64>, Vec<f64>)> = None;
         for (name, design, tlb) in alternatives() {
-            let (perf, energy) = eval(design, tlb);
+            let (perf, energy) = eval(design, tlb)?;
             let mean = perf.iter().sum::<f64>() / perf.len() as f64;
             let better = best
                 .as_ref()
@@ -98,7 +101,7 @@ pub fn fig14(instructions: u64) -> Vec<Fig14Row> {
             best_other,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the rows.
@@ -134,11 +137,15 @@ mod tests {
         // binary. SEESAW keeps the 32-way hit rate AND fast hits; PIPT
         // gives up associativity and serializes the TLB.
         let base_cfg = RunConfig::quick("olio").l1_size(128);
-        let base = System::build(&base_cfg).run();
-        let seesaw =
-            System::build(&base_cfg.clone().design(L1DesignKind::Seesaw)).run();
-        let pipt =
-            System::build(&base_cfg.clone().design(L1DesignKind::Pipt { ways: 4 })).run();
+        let base = System::build(&base_cfg).unwrap().run().unwrap();
+        let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw))
+            .unwrap()
+            .run()
+            .unwrap();
+        let pipt = System::build(&base_cfg.clone().design(L1DesignKind::Pipt { ways: 4 }))
+            .unwrap()
+            .run()
+            .unwrap();
         let s = seesaw.runtime_improvement_pct(&base);
         let p = pipt.runtime_improvement_pct(&base);
         assert!(

@@ -4,7 +4,7 @@
 use seesaw_workloads::cloud_subset;
 
 use crate::report::pct;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, System, Table};
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
 
 /// One workload's three-design comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,7 +28,7 @@ pub struct Fig15Row {
 }
 
 /// Runs the three designs against the shared baseline.
-pub fn fig15(instructions: u64) -> Vec<Fig15Row> {
+pub fn fig15(instructions: u64) -> Result<Vec<Fig15Row>, SimError> {
     cloud_subset()
         .iter()
         .map(|w| {
@@ -37,12 +37,12 @@ pub fn fig15(instructions: u64) -> Vec<Fig15Row> {
                 .frequency(Frequency::F1_33)
                 .cpu(CpuKind::OutOfOrder)
                 .instructions(instructions);
-            let base = System::build(&base_cfg).run();
-            let run = |design| System::build(&base_cfg.clone().design(design)).run();
-            let wp = run(L1DesignKind::BaselineWithWayPrediction);
-            let seesaw = run(L1DesignKind::Seesaw);
-            let combined = run(L1DesignKind::SeesawWithWayPrediction);
-            Fig15Row {
+            let base = System::build(&base_cfg)?.run()?;
+            let run = |design| System::build(&base_cfg.clone().design(design))?.run();
+            let wp = run(L1DesignKind::BaselineWithWayPrediction)?;
+            let seesaw = run(L1DesignKind::Seesaw)?;
+            let combined = run(L1DesignKind::SeesawWithWayPrediction)?;
+            Ok(Fig15Row {
                 workload: w.name,
                 wp_perf: wp.runtime_improvement_pct(&base),
                 wp_energy: wp.energy_savings_pct(&base),
@@ -51,7 +51,7 @@ pub fn fig15(instructions: u64) -> Vec<Fig15Row> {
                 combined_perf: combined.runtime_improvement_pct(&base),
                 combined_energy: combined.energy_savings_pct(&base),
                 wp_accuracy: wp.way_prediction_accuracy.unwrap_or(0.0),
-            }
+            })
         })
         .collect()
 }
@@ -88,7 +88,7 @@ mod tests {
     use super::*;
 
     fn one(workload: &str) -> Fig15Row {
-        let mut rows = fig15(100_000);
+        let mut rows = fig15(100_000).unwrap();
         // fig15 runs all eight; pick the requested one from a dedicated
         // quick run instead to keep the test fast.
         rows.retain(|r| r.workload == workload);

@@ -4,7 +4,7 @@
 use seesaw_workloads::catalog;
 
 use crate::report::pct;
-use crate::{RunConfig, System, Table};
+use crate::{RunConfig, SimError, System, Table};
 
 /// memhog pressures of Fig. 3.
 pub const FIG3_MEMHOG: [u32; 4] = [0, 40, 60, 80];
@@ -20,19 +20,19 @@ pub struct Fig3Row {
 
 /// Runs the allocation study: no trace simulation required — coverage is
 /// determined at footprint-population time.
-pub fn fig3() -> Vec<Fig3Row> {
+pub fn fig3() -> Result<Vec<Fig3Row>, SimError> {
     catalog()
         .iter()
         .map(|spec| {
             let mut coverage = [0.0; 4];
             for (slot, &pct) in FIG3_MEMHOG.iter().enumerate() {
                 let config = RunConfig::paper(spec.name).memhog(pct);
-                coverage[slot] = System::build(&config).superpage_coverage();
+                coverage[slot] = System::build(&config)?.superpage_coverage();
             }
-            Fig3Row {
+            Ok(Fig3Row {
                 workload: spec.name,
                 coverage,
-            }
+            })
         })
         .collect()
 }
@@ -62,7 +62,9 @@ mod tests {
         // allocated".
         for name in ["astar", "redis", "g500"] {
             let cov = |pct: u32| {
-                System::build(&RunConfig::paper(name).memhog(pct)).superpage_coverage()
+                System::build(&RunConfig::paper(name).memhog(pct))
+                    .unwrap()
+                    .superpage_coverage()
             };
             let c0 = cov(0);
             let c80 = cov(80);

@@ -4,7 +4,7 @@ use seesaw_workloads::catalog;
 
 use crate::report::pct;
 use crate::stats::Summary;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, System, Table};
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
 
 /// Cache sizes of the runtime studies.
 pub const SIZES_KB: [u64; 3] = [32, 64, 128];
@@ -39,20 +39,20 @@ pub(crate) fn improvement(
     freq: Frequency,
     cpu: CpuKind,
     instructions: u64,
-) -> f64 {
+) -> Result<f64, SimError> {
     let base_cfg = RunConfig::paper(workload)
         .l1_size(size_kb)
         .frequency(freq)
         .cpu(cpu)
         .instructions(instructions);
-    let base = System::build(&base_cfg).run();
-    let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw)).run();
-    seesaw.runtime_improvement_pct(&base)
+    let base = System::build(&base_cfg)?.run()?;
+    let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw))?.run()?;
+    Ok(seesaw.runtime_improvement_pct(&base))
 }
 
 /// Fig. 7: per-workload runtime improvement on the out-of-order core at
 /// 1.33 GHz, for 32/64/128 KB caches.
-pub fn fig7(instructions: u64) -> Vec<Fig7Row> {
+pub fn fig7(instructions: u64) -> Result<Vec<Fig7Row>, SimError> {
     let mut rows = Vec::new();
     for spec in catalog() {
         for &size_kb in &SIZES_KB {
@@ -65,25 +65,25 @@ pub fn fig7(instructions: u64) -> Vec<Fig7Row> {
                     Frequency::F1_33,
                     CpuKind::OutOfOrder,
                     instructions,
-                ),
+                )?,
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Fig. 8: frequency sweep on the out-of-order core (avg/min/max over all
 /// workloads per size × frequency).
-pub fn fig8(instructions: u64) -> Vec<FreqSweepRow> {
+pub fn fig8(instructions: u64) -> Result<Vec<FreqSweepRow>, SimError> {
     freq_sweep(CpuKind::OutOfOrder, instructions)
 }
 
 /// Fig. 9: the same sweep on the in-order core (gains are higher).
-pub fn fig9(instructions: u64) -> Vec<FreqSweepRow> {
+pub fn fig9(instructions: u64) -> Result<Vec<FreqSweepRow>, SimError> {
     freq_sweep(CpuKind::InOrder, instructions)
 }
 
-fn freq_sweep(cpu: CpuKind, instructions: u64) -> Vec<FreqSweepRow> {
+fn freq_sweep(cpu: CpuKind, instructions: u64) -> Result<Vec<FreqSweepRow>, SimError> {
     let workloads = catalog();
     let mut rows = Vec::new();
     for freq in Frequency::ALL {
@@ -91,7 +91,7 @@ fn freq_sweep(cpu: CpuKind, instructions: u64) -> Vec<FreqSweepRow> {
             let improvements: Vec<f64> = workloads
                 .iter()
                 .map(|w| improvement(w.name, size_kb, freq, cpu, instructions))
-                .collect();
+                .collect::<Result<_, _>>()?;
             rows.push(FreqSweepRow {
                 freq: freq.label(),
                 size_kb,
@@ -99,7 +99,7 @@ fn freq_sweep(cpu: CpuKind, instructions: u64) -> Vec<FreqSweepRow> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders Fig. 7 rows (workloads × sizes).
@@ -143,15 +143,15 @@ mod tests {
         // Spot-check a diverse trio; "Every single one of our workloads
         // benefits from SEESAW" (§VI-A). The full 16 run in the binary.
         for name in ["redis", "astar", "g500"] {
-            let imp = improvement(name, 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK);
+            let imp = improvement(name, 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK).unwrap();
             assert!(imp > 0.0, "{name} regressed: {imp:.2}%");
         }
     }
 
     #[test]
     fn larger_caches_improve_more() {
-        let small = improvement("mongo", 32, Frequency::F1_33, CpuKind::OutOfOrder, QUICK);
-        let large = improvement("mongo", 128, Frequency::F1_33, CpuKind::OutOfOrder, QUICK);
+        let small = improvement("mongo", 32, Frequency::F1_33, CpuKind::OutOfOrder, QUICK).unwrap();
+        let large = improvement("mongo", 128, Frequency::F1_33, CpuKind::OutOfOrder, QUICK).unwrap();
         assert!(
             large > small,
             "128KB ({large:.2}%) should beat 32KB ({small:.2}%)"
@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn improvements_are_in_the_papers_band() {
         // Paper Fig. 7: averages of 5–11% across sizes, bars up to ~17%.
-        let imp = improvement("redis", 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK);
+        let imp = improvement("redis", 64, Frequency::F1_33, CpuKind::OutOfOrder, QUICK).unwrap();
         assert!((0.5..25.0).contains(&imp), "got {imp:.2}%");
     }
 

@@ -10,7 +10,7 @@
 use seesaw_energy::SramModel;
 
 use crate::report::pct;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, System, Table};
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
 
 /// One partition-size data point.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,14 +31,14 @@ pub struct PartitionRow {
 
 /// Sweeps ways-per-partition on the 64 KB, 16-way geometry for one
 /// representative workload (redis, out-of-order, 1.33 GHz).
-pub fn partition_ablation(instructions: u64) -> Vec<PartitionRow> {
+pub fn partition_ablation(instructions: u64) -> Result<Vec<PartitionRow>, SimError> {
     let sram = SramModel::tsmc28_scaled_22nm();
     let base_cfg = RunConfig::paper("redis")
         .l1_size(64)
         .frequency(Frequency::F1_33)
         .cpu(CpuKind::OutOfOrder)
         .instructions(instructions);
-    let baseline = System::build(&base_cfg).run();
+    let baseline = System::build(&base_cfg)?.run()?;
 
     [2usize, 4, 8]
         .into_iter()
@@ -46,15 +46,15 @@ pub fn partition_ablation(instructions: u64) -> Vec<PartitionRow> {
             let partitions = 16 / ways_per_partition;
             let mut cfg = base_cfg.clone().design(L1DesignKind::Seesaw);
             cfg.seesaw_partitions = Some(partitions);
-            let r = System::build(&cfg).run();
-            PartitionRow {
+            let r = System::build(&cfg)?.run()?;
+            Ok(PartitionRow {
                 ways_per_partition,
                 partitions,
                 fast_cycles: sram.partition_lookup_cycles(64, 16, partitions, 1.33),
                 perf_pct: r.runtime_improvement_pct(&baseline),
                 energy_pct: r.energy_savings_pct(&baseline),
                 mpki: r.l1_mpki,
-            }
+            })
         })
         .collect()
 }
@@ -99,11 +99,15 @@ mod tests {
     #[test]
     fn narrower_partitions_save_more_energy() {
         let base_cfg = RunConfig::quick("redis").l1_size(64);
-        let baseline = System::build(&base_cfg).run();
+        let baseline = System::build(&base_cfg).unwrap().run().unwrap();
         let energy = |partitions: usize| {
             let mut cfg = base_cfg.clone().design(L1DesignKind::Seesaw);
             cfg.seesaw_partitions = Some(partitions);
-            System::build(&cfg).run().energy_savings_pct(&baseline)
+            System::build(&cfg)
+                .unwrap()
+                .run()
+                .unwrap()
+                .energy_savings_pct(&baseline)
         };
         let two_way = energy(8); // 16 ways / 8 partitions = 2-way
         let eight_way = energy(2); // 16 ways / 2 partitions = 8-way
@@ -119,7 +123,7 @@ mod tests {
         let mpki = |partitions: usize| {
             let mut cfg = base_cfg.clone().design(L1DesignKind::Seesaw);
             cfg.seesaw_partitions = Some(partitions);
-            System::build(&cfg).run().l1_mpki
+            System::build(&cfg).unwrap().run().unwrap().l1_mpki
         };
         let narrow = mpki(8);
         let wide = mpki(2);

@@ -11,7 +11,9 @@
 //! for the three policies.
 
 use crate::report::pct;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SchedulerHintPolicy, System, Table};
+use crate::{
+    CpuKind, Frequency, L1DesignKind, RunConfig, SchedulerHintPolicy, SimError, System, Table,
+};
 
 /// One cell of the sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,7 +37,7 @@ pub const MEMHOG_LEVELS: [u32; 2] = [0, 60];
 
 /// Runs the sweep on one representative workload (redis, 64 KB,
 /// out-of-order at 1.33 GHz).
-pub fn scheduler_ablation(instructions: u64) -> Vec<SchedulerRow> {
+pub fn scheduler_ablation(instructions: u64) -> Result<Vec<SchedulerRow>, SimError> {
     let mut rows = Vec::new();
     for &memhog in &MEMHOG_LEVELS {
         let base_cfg = RunConfig::paper("redis")
@@ -44,7 +46,7 @@ pub fn scheduler_ablation(instructions: u64) -> Vec<SchedulerRow> {
             .cpu(CpuKind::OutOfOrder)
             .memhog(memhog)
             .instructions(instructions);
-        let baseline = System::build(&base_cfg).run();
+        let baseline = System::build(&base_cfg)?.run()?;
         for policy in [
             SchedulerHintPolicy::Occupancy,
             SchedulerHintPolicy::AlwaysFast,
@@ -54,7 +56,7 @@ pub fn scheduler_ablation(instructions: u64) -> Vec<SchedulerRow> {
                 let mut cfg = base_cfg.clone().design(L1DesignKind::Seesaw);
                 cfg.scheduler_hint = policy;
                 cfg.hit_time_squash_cycles = squash_cycles;
-                let r = System::build(&cfg).run();
+                let r = System::build(&cfg)?.run()?;
                 rows.push(SchedulerRow {
                     policy,
                     squash_cycles,
@@ -64,7 +66,7 @@ pub fn scheduler_ablation(instructions: u64) -> Vec<SchedulerRow> {
             }
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the sweep.
@@ -91,12 +93,14 @@ mod tests {
         memhog: u32,
     ) -> f64 {
         let base_cfg = RunConfig::quick("redis").l1_size(64).memhog(memhog);
-        let baseline = System::build(&base_cfg).run();
+        let baseline = System::build(&base_cfg).unwrap().run().unwrap();
         let mut cfg = base_cfg.design(L1DesignKind::Seesaw);
         cfg.scheduler_hint = policy;
         cfg.hit_time_squash_cycles = squash;
         System::build(&cfg)
+            .unwrap()
             .run()
+            .unwrap()
             .runtime_improvement_pct(&baseline)
     }
 

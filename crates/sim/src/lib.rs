@@ -12,6 +12,14 @@
 //! evaluation; the `seesaw-bench` crate's binaries and Criterion benches
 //! call straight into them.
 //!
+//! For robustness work, [`RunConfig::with_checker`] runs the
+//! `seesaw-check` differential shadow model in lockstep with the timing
+//! system, and [`RunConfig::with_faults`] attaches a seeded injector that
+//! fires SEESAW's dangerous transitions (splinters, promotions, TLB
+//! shootdowns, TFT conflict storms, context switches, memory pressure)
+//! at randomized points. A caught invariant violation surfaces as
+//! [`SimError::Check`].
+//!
 //! # Example
 //!
 //! ```
@@ -20,7 +28,7 @@
 //! let config = RunConfig::quick("redis")
 //!     .design(L1DesignKind::Seesaw)
 //!     .cpu(CpuKind::OutOfOrder);
-//! let result = System::build(&config).run();
+//! let result = System::build(&config).unwrap().run().unwrap();
 //! assert!(result.totals.instructions >= 100_000);
 //! assert!(result.superpage_ref_fraction > 0.5);
 //! ```
@@ -30,6 +38,7 @@
 
 mod chart;
 mod config;
+mod error;
 pub mod experiments;
 mod report;
 mod stats;
@@ -37,6 +46,7 @@ mod system;
 
 pub use config::{CpuKind, Frequency, L1DesignKind, RunConfig, SchedulerHintPolicy};
 pub use chart::BarChart;
+pub use error::SimError;
 pub use report::Table;
 pub use stats::{RunResult, Sample, Summary};
 pub use system::System;

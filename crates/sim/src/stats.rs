@@ -1,6 +1,7 @@
 //! Results of one simulation run.
 
 use seesaw_cache::CacheStats;
+use seesaw_check::{CheckerSummary, InjectionStats};
 use seesaw_core::{SeesawStats, TftStats};
 use seesaw_cpu::RunTotals;
 use seesaw_energy::EnergyBreakdown;
@@ -51,6 +52,13 @@ pub struct RunResult {
     pub way_prediction_accuracy: Option<f64>,
     /// Coherence probes delivered to the L1.
     pub coherence_probes: u64,
+    /// 2 MB slices that wanted a superpage but were demoted to base
+    /// pages (allocation-time fallback plus failed injected promotions).
+    pub demotions: u64,
+    /// Fault-injection counts, when an injector was attached.
+    pub faults: Option<InjectionStats>,
+    /// Shadow-checker summary, when the checker was enabled.
+    pub checker: Option<CheckerSummary>,
     /// Windowed telemetry (empty unless sampling was enabled).
     pub samples: Vec<Sample>,
 }

@@ -2,6 +2,7 @@
 //! coherence + energy + CPU timing.
 
 use seesaw_cache::{CacheConfig, IndexPolicy, MemoryLevel, OuterHierarchy, OuterHierarchyConfig};
+use seesaw_check::{AccessCheck, CheckEvent, FaultInjector, FaultKind, ShadowChecker};
 use seesaw_coherence::{CoherenceTraffic, CoherenceTrafficConfig};
 use seesaw_core::{
     BaselineL1, HitTimeAssumption, L1DataCache, L1Request, L1Timing, SchedulerHint, SeesawConfig,
@@ -10,13 +11,13 @@ use seesaw_core::{
 use seesaw_cpu::{CpuModel, InOrderCpu, OooCpu};
 use seesaw_energy::{EnergyAccount, EnergyModel, SramModel};
 use seesaw_mem::{
-    AddressSpace, Memhog, MemhogConfig, PageSize, PhysAddr, PhysicalMemory, ThpPolicy, VirtAddr,
-    Vma,
+    AddressSpace, MemError, Memhog, MemhogConfig, PageSize, PageTableOp, PhysAddr, PhysicalMemory,
+    ThpPolicy, VirtAddr, Vma,
 };
 use seesaw_tlb::{TlbHierarchy, TlbHierarchyConfig, TlbLevel};
 use seesaw_workloads::TraceGenerator;
 
-use crate::{CpuKind, L1DesignKind, RunConfig, RunResult, SchedulerHintPolicy};
+use crate::{CpuKind, L1DesignKind, RunConfig, RunResult, SchedulerHintPolicy, SimError};
 
 /// Per-window event counters.
 #[derive(Debug, Default)]
@@ -115,6 +116,17 @@ pub struct System {
     generator: TraceGenerator,
     hint: SchedulerHint,
     serializes_translation: bool,
+    /// Differential shadow model, when [`RunConfig::checker`] is set.
+    checker: Option<ShadowChecker>,
+    /// Seeded fault source, when [`RunConfig::faults`] is set.
+    injector: Option<FaultInjector>,
+    /// Memhog instances holding injected memory pressure (LIFO).
+    pressure_hogs: Vec<Memhog>,
+    /// Injected promotions that failed and degraded to base pages.
+    run_demotions: u64,
+    /// Instructions executed across every simulate() call, so injector
+    /// schedules and checker diagnostics span warmup + measurement.
+    elapsed: u64,
 }
 
 impl System {
@@ -123,7 +135,13 @@ impl System {
     /// workload's footprint is populated through the THP policy — so
     /// superpage coverage emerges from the OS model, as on the paper's
     /// long-uptime servers (§III-C, §V).
-    pub fn build(config: &RunConfig) -> System {
+    ///
+    /// # Errors
+    /// Returns [`SimError::Mem`] if physical memory cannot back the
+    /// workload's footprint even with base pages (the THP path already
+    /// degrades superpage failures to 4 KB fallback, counted in
+    /// [`RunResult::demotions`]).
+    pub fn build(config: &RunConfig) -> Result<System, SimError> {
         let footprint = config.workload.footprint_bytes();
         // Physical memory is provisioned at 4x the footprint (min 128 MB):
         // like the paper's loaded servers, the workload is a substantial
@@ -158,7 +176,10 @@ impl System {
         let mut space = AddressSpace::new(1);
         let vma = space
             .mmap_anonymous(&mut pmem, footprint, ThpPolicy::Always)
-            .expect("physical memory is provisioned at 4x the footprint");
+            .map_err(|source| SimError::Mem {
+                context: "populating the workload footprint",
+                source,
+            })?;
         // Compaction during population may have migrated hog-owned blocks.
         let relocations = space.drain_foreign_relocations();
         hog.absorb_relocations(&relocations);
@@ -264,7 +285,7 @@ impl System {
         let account = EnergyAccount::new(EnergyModel::new(sram), size_kb, total_ways);
         let generator = TraceGenerator::new(&config.workload, config.seed);
 
-        System {
+        Ok(System {
             config: config.clone(),
             pmem,
             space,
@@ -278,10 +299,14 @@ impl System {
             generator,
             hint: SchedulerHint::default(),
             serializes_translation: serializes,
-        }
+            checker: config.checker.then(ShadowChecker::new),
+            injector: config.faults.map(FaultInjector::new),
+            pressure_hogs: Vec::new(),
+            run_demotions: 0,
+            elapsed: 0,
+        })
     }
 
-    /// Runs the configured instruction budget and reports the results.
     /// Runs the configured instruction budget and reports the results.
     ///
     /// The run has two phases: a warmup (default: a third of the budget,
@@ -290,7 +315,12 @@ impl System {
     /// make cold-start effects negligible, so measuring them here would
     /// distort every comparison — followed by the measured window, whose
     /// statistics are reported as deltas.
-    pub fn run(mut self) -> RunResult {
+    ///
+    /// # Errors
+    /// Returns [`SimError::PageFault`] if the workload touches unmapped
+    /// memory, and [`SimError::Check`] when the differential checker (if
+    /// enabled) catches an invariant violation.
+    pub fn run(mut self) -> Result<RunResult, SimError> {
         // Functional pre-warm: replay the upcoming reference stream
         // against the outer hierarchy only (no timing, no energy). The
         // paper measures windows of traces that have been running for
@@ -314,7 +344,7 @@ impl System {
         // Warmup: same loop, throwaway core, no energy accounting.
         let mut warm_cpu: Box<dyn CpuModel> = Box::new(InOrderCpu::atom());
         let mut scratch = Counters::default();
-        self.simulate(warmup, warm_cpu.as_mut(), false, &mut scratch);
+        self.simulate(warmup, warm_cpu.as_mut(), false, &mut scratch)?;
 
         // Snapshot counters at the start of the measured window.
         let l1_before = self.l1.as_dyn().cache_stats();
@@ -330,7 +360,7 @@ impl System {
             CpuKind::OutOfOrder => Box::new(OooCpu::sandybridge()),
         };
         let mut counters = Counters::default();
-        self.simulate(self.config.instructions, cpu.as_mut(), true, &mut counters);
+        self.simulate(self.config.instructions, cpu.as_mut(), true, &mut counters)?;
 
         let totals = cpu.totals();
         let runtime_ns = totals.cycles as f64 / self.config.frequency.ghz();
@@ -349,7 +379,7 @@ impl System {
             L1Flavor::Vivt(_) => (SeesawStats::default(), TftStats::default(), None),
         };
 
-        RunResult {
+        let result = RunResult {
             totals,
             runtime_ns,
             energy: self.account.finish(runtime_ns),
@@ -367,8 +397,12 @@ impl System {
             },
             way_prediction_accuracy: wp_acc,
             coherence_probes: counters.coherence_probes,
+            demotions: self.space.thp_stats().demoted_slices + self.run_demotions,
+            faults: self.injector.as_ref().map(|i| i.stats()),
+            checker: self.checker.as_ref().map(|c| c.summary()),
             samples: counters.samples,
-        }
+        };
+        Ok(result)
     }
 
     /// Runs `instructions` instructions through the memory system. When
@@ -381,7 +415,7 @@ impl System {
         cpu: &mut dyn CpuModel,
         measure: bool,
         counters: &mut Counters,
-    ) {
+    ) -> Result<(), SimError> {
         let miss_squash = OooCpu::sandybridge().miss_squash_cycles();
         let is_ooo = self.config.cpu == CpuKind::OutOfOrder;
         let is_seesaw = matches!(self.l1, L1Flavor::Seesaw(_));
@@ -407,7 +441,7 @@ impl System {
             let lookup = self
                 .tlbs
                 .lookup(va, &self.space)
-                .expect("workload footprint is fully mapped");
+                .ok_or(SimError::PageFault { va: va.raw() })?;
             // VIVT hits never consult the TLB; its translation energy is
             // charged below, only for misses.
             if measure && !is_vivt {
@@ -452,6 +486,28 @@ impl System {
                 is_write: tref.is_write,
             };
             let out = self.l1.as_dyn().access(&req);
+
+            // Differential shadow check: the hardware's translation and
+            // TFT verdict against the page table's ground truth and the
+            // program's reference memory.
+            if let Some(checker) = self.checker.as_mut() {
+                let authoritative = self
+                    .space
+                    .translate(va)
+                    .ok_or(SimError::PageFault { va: va.raw() })?;
+                checker.check_access(
+                    self.elapsed + executed,
+                    &AccessCheck {
+                        va: va.raw(),
+                        pa: pa.raw(),
+                        authoritative_pa: authoritative.pa.raw(),
+                        is_superpage: authoritative.page_size.is_superpage(),
+                        tft_hit: out.tft_hit,
+                        is_write: tref.is_write,
+                    },
+                )?;
+            }
+
             let mut squash_cycles = 0u64;
             if is_seesaw {
                 if measure {
@@ -586,13 +642,26 @@ impl System {
                 }
             }
 
-            // OS page-table churn: splinter a superpage / promote it back.
+            // Legacy OS page-table churn schedule: a deterministic
+            // splinter/re-promote alternation at a fixed interval, routed
+            // through the same fault-application path as the injector.
             if executed >= next_page_op {
                 next_page_op += self.config.page_op_interval.unwrap_or(u64::MAX);
-                self.page_table_churn(va, page_op_toggle);
+                self.apply_page_op(va, page_op_toggle, self.elapsed + executed)?;
                 page_op_toggle = !page_op_toggle;
             }
+
+            // Randomized fault injection (the general mechanism).
+            if let Some(kind) = self
+                .injector
+                .as_mut()
+                .and_then(|i| i.poll(self.elapsed + executed))
+            {
+                self.apply_fault(kind, self.elapsed + executed)?;
+            }
         }
+        self.elapsed += executed;
+        Ok(())
     }
 
     /// Superpage coverage of the populated footprint (available before
@@ -613,33 +682,307 @@ impl System {
     }
 
     /// Splinters (or re-promotes) the 2 MB region containing `va`,
-    /// delivering the invalidation events to the TLBs and the L1.
-    fn page_table_churn(&mut self, va: VirtAddr, promote: bool) {
+    /// delivering the invalidation events to the TLBs and every L1 design
+    /// that must observe them, mirroring the transition into the shadow
+    /// model, and running the structural audits. Shared by the legacy
+    /// `page_op_interval` schedule and the fault injector.
+    ///
+    /// A promotion that fails for lack of contiguous physical memory is
+    /// graceful degradation, not an error: the region stays base-paged
+    /// and the demotion is counted.
+    fn apply_page_op(
+        &mut self,
+        va: VirtAddr,
+        promote: bool,
+        instruction: u64,
+    ) -> Result<(), SimError> {
         let result = if promote {
             self.space.promote(&mut self.pmem, va)
         } else {
             self.space.splinter(&mut self.pmem, va)
         };
-        if result.is_ok() {
-            for op in self.space.drain_ops() {
-                self.tlbs.handle_op(&op);
-                if let Some(seesaw) = self.l1.seesaw() {
-                    seesaw.handle_op(&op);
+        match result {
+            Ok(_) => {}
+            Err(MemError::Fragmented { .. } | MemError::OutOfMemory { .. }) if promote => {
+                self.run_demotions += 1;
+                if let Some(checker) = self.checker.as_mut() {
+                    let region = VirtAddr::new(va.raw() & !(PageSize::Super2M.bytes() - 1));
+                    checker.record_event(
+                        instruction,
+                        CheckEvent::PromotionDemoted {
+                            region_va: region.raw(),
+                        },
+                    );
                 }
+                return Ok(());
             }
-            if promote {
-                // Promotion copies the region into the new 2 MB frame; the
-                // kernel's copy streams through the cache hierarchy, so the
-                // new frame's lines are LLC-resident afterwards.
-                if let Some(t) = self.space.translate(va) {
-                    let first = t.frame.base().raw() / 64;
-                    let lines = PageSize::Super2M.bytes() / 64;
-                    for line in first..first + lines {
-                        self.outer.access(line, true);
-                    }
+            // The region is not currently in the right state (already
+            // splintered / already promoted / outside the heap): benign.
+            Err(_) => return Ok(()),
+        }
+        let chaos = self
+            .injector
+            .as_ref()
+            .map(|i| i.config().chaos)
+            .unwrap_or_default();
+        for op in self.space.drain_ops() {
+            self.tlbs.handle_op(&op);
+            // ChaosConfig knobs deliberately lose the L1-side invalidation
+            // so tests can prove the checker catches the corruption.
+            let dropped = match &op {
+                PageTableOp::Splintered(_) => chaos.drop_tft_invalidation_on_splinter,
+                PageTableOp::Promoted { .. } => chaos.drop_promotion_sweep,
+                _ => false,
+            };
+            match &mut self.l1 {
+                L1Flavor::Seesaw(l1) if !dropped => {
+                    l1.handle_op(&op);
+                }
+                // VIVT must always observe remappings: its virtual tags
+                // keep hitting after a translation change, and its
+                // back-pointers would keep naming the migrated-away frames.
+                L1Flavor::Vivt(l1) if !dropped => {
+                    l1.handle_op(&op);
+                }
+                _ => {}
+            }
+            self.observe_op(&op, instruction)?;
+        }
+        if promote {
+            // Promotion copies the region into the new 2 MB frame; the
+            // kernel's copy streams through the cache hierarchy, so the
+            // new frame's lines are LLC-resident afterwards.
+            if let Some(t) = self.space.translate(va) {
+                let first = t.frame.base().raw() / 64;
+                let lines = PageSize::Super2M.bytes() / 64;
+                for line in first..first + lines {
+                    self.outer.access(line, true);
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Mirrors one page-table operation into the shadow model and runs
+    /// the structural audits that must hold immediately afterwards.
+    fn observe_op(&mut self, op: &PageTableOp, instruction: u64) -> Result<(), SimError> {
+        if self.checker.is_none() {
+            return Ok(());
+        }
+        match op {
+            PageTableOp::Splintered(page) => {
+                let region_va = page.base().raw();
+                if let Some(checker) = self.checker.as_mut() {
+                    checker.observe_splinter(instruction, region_va);
+                }
+                // §IV-C2 precision: the TFT must no longer vouch for the
+                // splintered region.
+                if let L1Flavor::Seesaw(l1) = &self.l1 {
+                    let still_vouches = l1.tft_probe(page.base());
+                    if let Some(checker) = self.checker.as_mut() {
+                        checker.audit_splinter_tft(instruction, region_va, still_vouches)?;
+                    }
+                }
+            }
+            PageTableOp::Promoted { page, old_frames } => {
+                let region_va = page.base().raw();
+                let new_frame = self
+                    .space
+                    .translate(page.base())
+                    .map(|t| t.frame.base().raw())
+                    .unwrap_or(0);
+                // old_frames arrive in VA order: frame i backs region
+                // offset i × 4 KB.
+                let frames: Vec<(u64, u64, u64)> = old_frames
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        (
+                            f.base().raw(),
+                            f.size().bytes(),
+                            i as u64 * PageSize::Base4K.bytes(),
+                        )
+                    })
+                    .collect();
+                if let Some(checker) = self.checker.as_mut() {
+                    checker.observe_promotion(instruction, region_va, new_frame, &frames);
+                }
+                match &self.l1 {
+                    L1Flavor::Seesaw(l1) => {
+                        // No line of the migrated-away frames may survive
+                        // the promotion sweep.
+                        let mut ranges: Vec<(u64, u64)> = old_frames
+                            .iter()
+                            .map(|f| {
+                                let first = f.base().raw() / 64;
+                                (first, first + f.size().bytes() / 64)
+                            })
+                            .collect();
+                        ranges.sort_unstable();
+                        let resident = l1
+                            .resident_lines()
+                            .filter(|line| {
+                                ranges
+                                    .binary_search_by(|&(lo, hi)| {
+                                        if line.ptag < lo {
+                                            std::cmp::Ordering::Greater
+                                        } else if line.ptag >= hi {
+                                            std::cmp::Ordering::Less
+                                        } else {
+                                            std::cmp::Ordering::Equal
+                                        }
+                                    })
+                                    .is_ok()
+                            })
+                            .count();
+                        let unreachable = l1.audit_partition_reachability();
+                        if let Some(checker) = self.checker.as_mut() {
+                            checker.audit_promotion_sweep(instruction, region_va, resident)?;
+                            // §IV-C1: every resident line must sit in the
+                            // partition its physical address names.
+                            if let Some(unreachable) = unreachable {
+                                checker.audit_partitions(instruction, unreachable)?;
+                            }
+                        }
+                    }
+                    L1Flavor::Vivt(l1) => {
+                        // VIVT back-pointers must not reference the frames
+                        // the promotion freed.
+                        let plines: Vec<u64> = l1.mapped_plines().collect();
+                        if let Some(checker) = self.checker.as_mut() {
+                            checker.audit_physical_mappings(instruction, plines)?;
+                        }
+                    }
+                    L1Flavor::Baseline(_) => {}
+                }
+            }
+            PageTableOp::Unmapped(page) => {
+                if let Some(checker) = self.checker.as_mut() {
+                    checker.record_event(
+                        instruction,
+                        CheckEvent::Shootdown {
+                            page_va: page.base().raw(),
+                        },
+                    );
+                }
+            }
+            PageTableOp::Mapped(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Applies one injected fault.
+    fn apply_fault(&mut self, kind: FaultKind, instruction: u64) -> Result<(), SimError> {
+        if let Some(checker) = self.checker.as_mut() {
+            checker.record_event(instruction, CheckEvent::Injected(kind));
+        }
+        let footprint = self.config.workload.footprint_bytes();
+        let regions = (footprint / PageSize::Super2M.bytes()).max(1) as usize;
+        match kind {
+            FaultKind::Splinter | FaultKind::Promote => {
+                let region = self.pick(regions);
+                let va = self
+                    .vma
+                    .base()
+                    .offset(region as u64 * PageSize::Super2M.bytes());
+                self.apply_page_op(va, kind == FaultKind::Promote, instruction)?;
+            }
+            FaultKind::TlbShootdown => {
+                // A spurious shootdown: the TLBs drop a mapping the page
+                // table still holds. Harmless by design — the next access
+                // refills from the (unchanged) page table — and exactly
+                // the event a stale-translation bug would hide behind.
+                let pages = (footprint / PageSize::Base4K.bytes()).max(1) as usize;
+                let page = self.pick(pages);
+                let va = self
+                    .vma
+                    .base()
+                    .offset(page as u64 * PageSize::Base4K.bytes());
+                if let Some(t) = self.space.translate(va) {
+                    let op = PageTableOp::Unmapped(t.vpage);
+                    self.tlbs.handle_op(&op);
+                    if let Some(checker) = self.checker.as_mut() {
+                        checker.record_event(
+                            instruction,
+                            CheckEvent::Shootdown {
+                                page_va: t.vpage.base().raw(),
+                            },
+                        );
+                    }
+                }
+            }
+            FaultKind::TftStorm => {
+                // Conflict-alias the direct-mapped TFT with fills for many
+                // genuinely superpage-backed regions, forcing evictions of
+                // live entries. Base-paged regions are never filled — that
+                // would be injecting the very bug the TFT's precision
+                // invariant forbids.
+                for _ in 0..16 {
+                    let region = self.pick(regions);
+                    let va = self
+                        .vma
+                        .base()
+                        .offset(region as u64 * PageSize::Super2M.bytes());
+                    let backed_super = self
+                        .space
+                        .translate(va)
+                        .is_some_and(|t| t.page_size.is_superpage());
+                    if backed_super {
+                        if let Some(seesaw) = self.l1.seesaw() {
+                            seesaw.tft_fill(va);
+                        }
+                    }
+                }
+            }
+            FaultKind::ContextSwitch => {
+                if let Some(seesaw) = self.l1.seesaw() {
+                    seesaw.context_switch();
+                }
+                if let Some(checker) = self.checker.as_mut() {
+                    checker.record_event(instruction, CheckEvent::ContextSwitch);
+                }
+            }
+            FaultKind::MemPressure => {
+                // A fresh co-runner grabs a slice of physical memory,
+                // fragmenting the free lists (Memhog instances are
+                // single-use, so each pressure event gets its own).
+                let seed = self.config.seed ^ (self.pick(1 << 30) as u64);
+                let mut hog = Memhog::new(MemhogConfig {
+                    fraction: 0.05,
+                    unmovable_fraction: 0.0,
+                    churn_factor: 0.0,
+                    seed,
+                });
+                hog.run(&mut self.pmem);
+                let held: u64 = self.pressure_hogs.iter().map(Memhog::held_frames).sum();
+                if let Some(checker) = self.checker.as_mut() {
+                    checker.record_event(
+                        instruction,
+                        CheckEvent::MemPressure {
+                            held_frames: held + hog.held_frames(),
+                        },
+                    );
+                }
+                self.pressure_hogs.push(hog);
+            }
+            FaultKind::MemRelease => {
+                if let Some(mut hog) = self.pressure_hogs.pop() {
+                    hog.release(&mut self.pmem);
+                }
+                let held: u64 = self.pressure_hogs.iter().map(Memhog::held_frames).sum();
+                if let Some(checker) = self.checker.as_mut() {
+                    checker
+                        .record_event(instruction, CheckEvent::MemPressure { held_frames: held });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A deterministic choice from the injector's seeded stream (0 when
+    /// no injector is attached — callers only reach this through one).
+    fn pick(&mut self, n: usize) -> usize {
+        self.injector.as_mut().map_or(0, |i| i.pick(n))
     }
 }
 
@@ -650,8 +993,8 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let cfg = RunConfig::quick("astar").design(L1DesignKind::Seesaw);
-        let a = System::build(&cfg).run();
-        let b = System::build(&cfg).run();
+        let a = System::build(&cfg).unwrap().run().unwrap();
+        let b = System::build(&cfg).unwrap().run().unwrap();
         assert_eq!(a.totals.cycles, b.totals.cycles);
         assert_eq!(a.l1.misses, b.l1.misses);
         assert_eq!(a.energy.total_nj(), b.energy.total_nj());
@@ -659,9 +1002,9 @@ mod tests {
 
     #[test]
     fn seesaw_beats_baseline_on_runtime_and_energy() {
-        let base = System::build(&RunConfig::quick("redis")).run();
+        let base = System::build(&RunConfig::quick("redis")).unwrap().run().unwrap();
         let seesaw =
-            System::build(&RunConfig::quick("redis").design(L1DesignKind::Seesaw)).run();
+            System::build(&RunConfig::quick("redis").design(L1DesignKind::Seesaw)).unwrap().run().unwrap();
         assert!(
             seesaw.totals.cycles < base.totals.cycles,
             "SEESAW {} vs baseline {} cycles",
@@ -674,7 +1017,7 @@ mod tests {
 
     #[test]
     fn superpage_refs_dominate_unfragmented_runs() {
-        let r = System::build(&RunConfig::quick("mongo").design(L1DesignKind::Seesaw)).run();
+        let r = System::build(&RunConfig::quick("mongo").design(L1DesignKind::Seesaw)).unwrap().run().unwrap();
         assert!(
             r.superpage_ref_fraction > 0.7,
             "got {}",
@@ -691,7 +1034,9 @@ mod tests {
                     .design(L1DesignKind::Seesaw)
                     .memhog(pct),
             )
+            .unwrap()
             .run()
+            .unwrap()
         };
         let light = frag(0);
         let heavy = frag(85);
@@ -708,8 +1053,8 @@ mod tests {
         // With crushing fragmentation, SEESAW degenerates to the baseline
         // (slow path everywhere) but must not be slower than it.
         let cfg = RunConfig::quick("mcf").memhog(90);
-        let base = System::build(&cfg.clone()).run();
-        let seesaw = System::build(&cfg.design(L1DesignKind::Seesaw)).run();
+        let base = System::build(&cfg.clone()).unwrap().run().unwrap();
+        let seesaw = System::build(&cfg.design(L1DesignKind::Seesaw)).unwrap().run().unwrap();
         let delta = seesaw.runtime_improvement_pct(&base);
         assert!(delta > -1.0, "SEESAW regressed by {delta:.2}%");
     }
@@ -717,10 +1062,12 @@ mod tests {
     #[test]
     fn inorder_gains_exceed_ooo_gains() {
         let gain = |cpu: CpuKind| {
-            let base = System::build(&RunConfig::quick("tunk").cpu(cpu)).run();
+            let base = System::build(&RunConfig::quick("tunk").cpu(cpu)).unwrap().run().unwrap();
             let seesaw =
                 System::build(&RunConfig::quick("tunk").cpu(cpu).design(L1DesignKind::Seesaw))
-                    .run();
+                    .unwrap()
+                    .run()
+                    .unwrap();
             seesaw.runtime_improvement_pct(&base)
         };
         let ino = gain(CpuKind::InOrder);
@@ -735,7 +1082,7 @@ mod tests {
     fn page_table_churn_stays_correct() {
         let mut cfg = RunConfig::quick("astar").design(L1DesignKind::Seesaw);
         cfg.page_op_interval = Some(20_000);
-        let r = System::build(&cfg).run();
+        let r = System::build(&cfg).unwrap().run().unwrap();
         // The run completes with sweeps recorded and sane stats.
         assert!(r.totals.instructions >= 150_000);
         assert!(r.seesaw.sweeps > 0 || r.tft.invalidations > 0);
@@ -744,7 +1091,7 @@ mod tests {
     #[test]
     fn pipt_design_runs() {
         let cfg = RunConfig::quick("xalanc").design(L1DesignKind::Pipt { ways: 4 });
-        let r = System::build(&cfg).run();
+        let r = System::build(&cfg).unwrap().run().unwrap();
         assert!(r.totals.cycles > 0);
         assert!(r.l1.accesses() > 0);
     }

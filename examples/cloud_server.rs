@@ -8,7 +8,7 @@
 
 use seesaw_sim::{CpuKind, Frequency, L1DesignKind, RunConfig, System, Table};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workloads = ["redis", "mongo", "nutch", "olio", "tunk"];
     let mut table = Table::new(vec![
         "workload",
@@ -28,8 +28,8 @@ fn main() {
             .cpu(CpuKind::OutOfOrder)
             .memhog(30)
             .instructions(600_000);
-        let baseline = System::build(&config).run();
-        let seesaw = System::build(&config.clone().design(L1DesignKind::Seesaw)).run();
+        let baseline = System::build(&config)?.run()?;
+        let seesaw = System::build(&config.clone().design(L1DesignKind::Seesaw))?.run()?;
         let (_, coherence_share) = seesaw.energy.savings_split(&baseline.energy);
         table.row(vec![
             name.into(),
@@ -47,4 +47,5 @@ fn main() {
     println!("Coherence share is the slice of the energy saving that comes from");
     println!("narrow (4-way) coherence probes — SEESAW's §IV-C1 benefit, which");
     println!("applies to base pages and superpages alike.");
+    Ok(())
 }

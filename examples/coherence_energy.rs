@@ -10,7 +10,7 @@ use seesaw_cache::{CacheConfig, IndexPolicy};
 use seesaw_coherence::{CoherenceMode, DirectoryController};
 use seesaw_sim::{L1DesignKind, RunConfig, System};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 1: the protocol substrate. Four cores share 64 lines under a
     // producer/consumer pattern; compare probe counts between directory
     // and snoopy delivery, and between 8-way (baseline) and 4-way
@@ -46,8 +46,8 @@ fn main() {
         base_cfg.snoopy = snoopy;
         let mut seesaw_cfg = base_cfg.clone().design(L1DesignKind::Seesaw);
         seesaw_cfg.snoopy = snoopy;
-        let base = System::build(&base_cfg).run();
-        let seesaw = System::build(&seesaw_cfg).run();
+        let base = System::build(&base_cfg)?.run()?;
+        let seesaw = System::build(&seesaw_cfg)?.run()?;
         let (cpu_share, coh_share) = seesaw.energy.savings_split(&base.energy);
         println!(
             "{}: energy saving {:.2}% (CPU-side {:.0}%, coherence {:.0}%), {} probes",
@@ -60,4 +60,5 @@ fn main() {
     }
     println!("\nSnooping broadcasts every transaction, so SEESAW's narrow probes");
     println!("save even more there — the paper's 2-5% extra (§VI-B).");
+    Ok(())
 }

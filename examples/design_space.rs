@@ -9,7 +9,7 @@
 
 use seesaw_sim::{Frequency, L1DesignKind, RunConfig, System, Table};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let designs: [(&str, L1DesignKind); 8] = [
         ("baseline VIPT 32-way", L1DesignKind::BaselineVipt),
         ("VIPT + way prediction", L1DesignKind::BaselineWithWayPrediction),
@@ -25,7 +25,7 @@ fn main() {
         .l1_size(128)
         .frequency(Frequency::F1_33)
         .instructions(600_000);
-    let baseline = System::build(&base_cfg).run();
+    let baseline = System::build(&base_cfg)?.run()?;
 
     let mut table = Table::new(vec![
         "design",
@@ -39,7 +39,7 @@ fn main() {
         let result = if design == L1DesignKind::BaselineVipt {
             baseline.clone()
         } else {
-            System::build(&base_cfg.clone().design(design)).run()
+            System::build(&base_cfg.clone().design(design))?.run()?
         };
         table.row(vec![
             name.into(),
@@ -58,4 +58,5 @@ fn main() {
     println!("gets 2-cycle superpage hits — the balance Fig. 14 credits it for.");
     println!("VIVT looks strong here because our traces contain no synonym abuse;");
     println!("the paper rejects it on synonym/coherence complexity, not raw speed.");
+    Ok(())
 }

@@ -8,7 +8,7 @@
 
 use seesaw_sim::{L1DesignKind, RunConfig, System, Table};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(vec![
         "memhog",
         "coverage",
@@ -23,8 +23,8 @@ fn main() {
             .l1_size(64)
             .memhog(memhog)
             .instructions(500_000);
-        let baseline = System::build(&config).run();
-        let seesaw = System::build(&config.clone().design(L1DesignKind::Seesaw)).run();
+        let baseline = System::build(&config)?.run()?;
+        let seesaw = System::build(&config.clone().design(L1DesignKind::Seesaw))?.run()?;
         table.row(vec![
             format!("{memhog}%"),
             format!("{:.1}%", seesaw.superpage_coverage * 100.0),
@@ -38,4 +38,5 @@ fn main() {
     println!("The OS's compaction keeps coverage high under moderate pressure");
     println!("(the paper's §III-C observation); only extreme fragmentation");
     println!("starves SEESAW — and even then it never does worse than baseline.");
+    Ok(())
 }

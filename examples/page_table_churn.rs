@@ -9,7 +9,7 @@
 
 use seesaw_sim::{L1DesignKind, RunConfig, System, Table};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(vec![
         "page ops",
         "cycles",
@@ -19,9 +19,9 @@ fn main() {
         "swept lines",
     ]);
 
-    let quiet_cycles = run(None).0;
+    let quiet_cycles = run(None)?.0;
     for interval in [None, Some(200_000u64), Some(50_000), Some(10_000)] {
-        let (cycles, invalidations, sweeps, swept) = run(interval);
+        let (cycles, invalidations, sweeps, swept) = run(interval)?;
         let label = match interval {
             None => "none".to_string(),
             Some(i) => format!("every {}k", i / 1000),
@@ -45,19 +45,22 @@ fn main() {
     println!("TLB entries instead of one); the invalidation machinery itself — TFT");
     println!("invalidations riding invlpg, sweeps hiding in the 150-200-cycle");
     println!("shootdown window — costs nearly nothing, which is the paper's point.");
+    Ok(())
 }
 
-fn run(page_op_interval: Option<u64>) -> (u64, u64, u64, u64) {
+fn run(
+    page_op_interval: Option<u64>,
+) -> Result<(u64, u64, u64, u64), Box<dyn std::error::Error>> {
     let mut cfg = RunConfig::paper("redis")
         .l1_size(64)
         .design(L1DesignKind::Seesaw)
         .instructions(800_000);
     cfg.page_op_interval = page_op_interval;
-    let r = System::build(&cfg).run();
-    (
+    let r = System::build(&cfg)?.run()?;
+    Ok((
         r.totals.cycles,
         r.tft.invalidations,
         r.seesaw.sweeps,
         r.seesaw.swept_lines,
-    )
+    ))
 }

@@ -7,7 +7,7 @@
 
 use seesaw_sim::{CpuKind, Frequency, L1DesignKind, RunConfig, System};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 64 KB L1 on an out-of-order core at 1.33 GHz, running the redis
     // workload with unfragmented memory.
     let config = RunConfig::paper("redis")
@@ -17,9 +17,9 @@ fn main() {
         .instructions(1_000_000);
 
     println!("building baseline VIPT system (16-way, full-set lookups)…");
-    let baseline = System::build(&config).run();
+    let baseline = System::build(&config)?.run()?;
     println!("building SEESAW system (four 4-way partitions + 16-entry TFT)…");
-    let seesaw = System::build(&config.clone().design(L1DesignKind::Seesaw)).run();
+    let seesaw = System::build(&config.clone().design(L1DesignKind::Seesaw))?.run()?;
 
     println!();
     println!("workload: redis, 64KB L1, OoO @ 1.33GHz");
@@ -70,4 +70,5 @@ fn main() {
     ] {
         println!("  {label:<16} {:>8.1} → {:>8.1}", lhs / 1000.0, rhs / 1000.0);
     }
+    Ok(())
 }

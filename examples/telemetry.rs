@@ -8,13 +8,13 @@
 
 use seesaw_sim::{L1DesignKind, RunConfig, System};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = RunConfig::paper("olio")
         .l1_size(64)
         .design(L1DesignKind::Seesaw)
         .instructions(2_000_000);
     cfg.sample_interval = Some(100_000);
-    let result = System::build(&cfg).run();
+    let result = System::build(&cfg)?.run()?;
 
     println!("olio on SEESAW (64KB @ 1.33GHz), 100k-instruction windows\n");
     println!("{:>12} {:>6} {:>7} {:>9}  CPI sparkline", "instrs", "CPI", "MPKI", "TFT hits");
@@ -42,4 +42,5 @@ fn main() {
     );
     println!("Watch for window-to-window movement when the generator re-seats its");
     println!("hot region and rotates an active 2MB region (cold misses + TFT churn).");
+    Ok(())
 }

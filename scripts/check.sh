@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Pre-merge gate (see ROADMAP.md): build, full test suite, lint-clean,
+# and a deterministic fault-injected shadow-checker run. Every step must
+# pass before a change lands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> fault-injected checker run (fixed seed, all fault kinds)"
+cargo test --release -q --test checker
+
+echo "OK: all checks passed."

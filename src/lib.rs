@@ -11,7 +11,7 @@
 //! use seesaw_repro::sim::{L1DesignKind, RunConfig, System};
 //!
 //! let config = RunConfig::quick("astar").design(L1DesignKind::Seesaw);
-//! let result = System::build(&config).run();
+//! let result = System::build(&config).unwrap().run().unwrap();
 //! assert!(result.totals.cycles > 0);
 //! ```
 
@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub use seesaw_cache as cache;
+pub use seesaw_check as check;
 pub use seesaw_coherence as coherence;
 pub use seesaw_core as core;
 pub use seesaw_cpu as cpu;

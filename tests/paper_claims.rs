@@ -7,8 +7,11 @@ use seesaw_sim::{CpuKind, Frequency, L1DesignKind, RunConfig, System};
 const BUDGET: u64 = 150_000;
 
 fn pair(cfg: &RunConfig) -> (seesaw_sim::RunResult, seesaw_sim::RunResult) {
-    let base = System::build(cfg).run();
-    let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw)).run();
+    let base = System::build(cfg).unwrap().run().unwrap();
+    let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw))
+        .unwrap()
+        .run()
+        .unwrap();
     (base, seesaw)
 }
 
@@ -64,7 +67,7 @@ fn superpage_reference_fractions_match_section_v() {
         let cfg = RunConfig::paper(name)
             .design(L1DesignKind::Seesaw)
             .instructions(BUDGET);
-        let r = System::build(&cfg).run();
+        let r = System::build(&cfg).unwrap().run().unwrap();
         assert!(
             r.superpage_ref_fraction >= 0.50 && r.superpage_ref_fraction <= 1.0,
             "{name}: superpage ref fraction {:.2}",
@@ -119,7 +122,7 @@ fn gains_grow_with_cache_size_and_frequency() {
 fn seesaw_is_strictly_better_than_area_equivalent_baseline() {
     // §VI-A's control: spending SEESAW's area on more TLB entries gains
     // almost nothing.
-    let rows = experiments::area_control(BUDGET);
+    let rows = experiments::area_control(BUDGET).unwrap();
     for r in rows {
         assert!(
             r.value_b > r.value_a,
@@ -139,12 +142,15 @@ fn coherence_lookups_always_narrow() {
     let cfg = RunConfig::paper("cann")
         .design(L1DesignKind::Seesaw)
         .instructions(BUDGET);
-    let r = System::build(&cfg).run();
+    let r = System::build(&cfg).unwrap().run().unwrap();
     assert!(r.l1.coherence_probes > 0, "coherence traffic must exist");
     let avg_ways = r.l1.coherence_ways_probed as f64 / r.l1.coherence_probes as f64;
     assert_eq!(avg_ways, 4.0, "SEESAW coherence probes one partition");
 
-    let base = System::build(&RunConfig::paper("cann").instructions(BUDGET)).run();
+    let base = System::build(&RunConfig::paper("cann").instructions(BUDGET))
+        .unwrap()
+        .run()
+        .unwrap();
     let base_avg = base.l1.coherence_ways_probed as f64 / base.l1.coherence_probes as f64;
     assert_eq!(base_avg, 8.0, "baseline coherence probes the full set");
 }

@@ -259,3 +259,47 @@ fn masked_lru_victim_is_oldest() {
     // Partition-1 victim = oldest among ways 4-7.
     assert_eq!(lru.victim(0, 0xf0), 7);
 }
+
+proptest! {
+    // Whole-system runs are much heavier than data-structure checks, so
+    // this block trades case count for schedule diversity: every case is
+    // a full simulation under a different randomized fault schedule.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Dangerous-transition soup: interleave a random access stream with
+    /// randomly scheduled splinters, promotions, and TLB shootdowns. The
+    /// lockstep shadow checker proves the TFT never claims a base-page
+    /// region and no load ever diverges from the reference memory — a
+    /// clean `Ok` is exactly those invariants holding on every access.
+    #[test]
+    fn fault_interleavings_never_diverge(
+        seed in any::<u64>(),
+        mean_interval in 1_000u64..8_000,
+        splinters in any::<bool>(),
+        promotions in any::<bool>(),
+        shootdowns in any::<bool>(),
+    ) {
+        use seesaw_check::FaultConfig;
+        use seesaw_sim::{L1DesignKind, RunConfig, System};
+
+        let mut faults = FaultConfig::all(seed).mean_interval(mean_interval);
+        faults.splinters = splinters;
+        faults.promotions = promotions;
+        faults.shootdowns = shootdowns;
+        // Keep the schedule focused on the translation-layer transitions
+        // this property is about.
+        faults.tft_storms = false;
+        faults.mem_pressure = false;
+        let cfg = RunConfig::quick("astar")
+            .design(L1DesignKind::Seesaw)
+            .with_checker()
+            .with_faults(faults);
+        let result = System::build(&cfg)
+            .unwrap_or_else(|e| panic!("build: {e}"))
+            .run()
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: {e}"));
+        let checker = result.checker.expect("checker enabled");
+        prop_assert_eq!(checker.violations.total(), 0);
+        prop_assert!(checker.loads_checked > 0);
+    }
+}

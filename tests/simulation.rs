@@ -23,7 +23,7 @@ fn every_design_completes_and_reports_sane_stats() {
             let cfg = RunConfig::paper(name)
                 .design(design)
                 .instructions(BUDGET);
-            let r = System::build(&cfg).run();
+            let r = System::build(&cfg).unwrap().run().unwrap();
             assert!(
                 r.totals.instructions >= BUDGET,
                 "{name}/{design:?}: too few instructions"
@@ -46,8 +46,8 @@ fn determinism_across_designs_and_cores() {
                 .design(design)
                 .cpu(cpu)
                 .instructions(BUDGET);
-            let a = System::build(&cfg).run();
-            let b = System::build(&cfg).run();
+            let a = System::build(&cfg).unwrap().run().unwrap();
+            let b = System::build(&cfg).unwrap().run().unwrap();
             assert_eq!(a.totals.cycles, b.totals.cycles, "{design:?}/{cpu:?}");
             assert_eq!(a.l1.misses, b.l1.misses);
             assert!((a.energy.total_nj() - b.energy.total_nj()).abs() < 1e-9);
@@ -62,8 +62,8 @@ fn seesaw_design_only_differs_in_l1_behavior() {
     // and have (nearly) identical miss counts — SEESAW changes *where*
     // lines live and how many ways are probed, not what is accessed.
     let cfg = RunConfig::paper("xalanc").instructions(BUDGET);
-    let base = System::build(&cfg).run();
-    let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw)).run();
+    let base = System::build(&cfg).unwrap().run().unwrap();
+    let seesaw = System::build(&cfg.clone().design(L1DesignKind::Seesaw)).unwrap().run().unwrap();
     assert_eq!(base.totals.instructions, seesaw.totals.instructions);
     assert_eq!(base.l1.accesses(), seesaw.l1.accesses());
     let miss_delta = (base.l1.misses as f64 - seesaw.l1.misses as f64).abs()
@@ -86,7 +86,7 @@ fn frequencies_scale_reported_runtime() {
             .frequency(f)
             .design(L1DesignKind::Seesaw)
             .instructions(BUDGET);
-        System::build(&cfg).run()
+        System::build(&cfg).unwrap().run().unwrap()
     };
     let slow = run(Frequency::F1_33);
     let fast = run(Frequency::F4_00);
@@ -102,8 +102,8 @@ fn warmup_is_excluded_from_measurement() {
     cold_cfg.warmup_instructions = Some(0);
     let mut warm_cfg = cold_cfg.clone();
     warm_cfg.warmup_instructions = Some(500_000);
-    let cold = System::build(&cold_cfg).run();
-    let warm = System::build(&warm_cfg).run();
+    let cold = System::build(&cold_cfg).unwrap().run().unwrap();
+    let warm = System::build(&warm_cfg).unwrap().run().unwrap();
     assert!(
         warm.l1.miss_rate() < cold.l1.miss_rate(),
         "warm {} vs cold {}",
@@ -118,7 +118,7 @@ fn telemetry_samples_cover_the_measured_window() {
         .design(L1DesignKind::Seesaw)
         .instructions(200_000);
     cfg.sample_interval = Some(50_000);
-    let r = System::build(&cfg).run();
+    let r = System::build(&cfg).unwrap().run().unwrap();
     assert!(
         (3..=5).contains(&r.samples.len()),
         "expected ~4 windows, got {}",
@@ -133,7 +133,7 @@ fn telemetry_samples_cover_the_measured_window() {
         assert!(s.mpki >= 0.0);
     }
     // Sampling off → no samples.
-    let quiet = System::build(&RunConfig::quick("astar")).run();
+    let quiet = System::build(&RunConfig::quick("astar")).unwrap().run().unwrap();
     assert!(quiet.samples.is_empty());
 }
 
@@ -145,8 +145,8 @@ fn snoopy_mode_multiplies_probe_traffic() {
     let mut snoop_cfg = dir_cfg.clone();
     dir_cfg.snoopy = false;
     snoop_cfg.snoopy = true;
-    let dir = System::build(&dir_cfg).run();
-    let snoop = System::build(&snoop_cfg).run();
+    let dir = System::build(&dir_cfg).unwrap().run().unwrap();
+    let snoop = System::build(&snoop_cfg).unwrap().run().unwrap();
     assert!(
         snoop.coherence_probes > dir.coherence_probes * 2,
         "snoopy {} vs directory {}",

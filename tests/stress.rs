@@ -181,3 +181,46 @@ fn failed_promotion_is_clean() {
         "mapping unchanged after failure"
     );
 }
+
+/// Whole-system graceful degradation (the `MemError::Fragmented` path):
+/// with memhog squatting on most of physical memory *and* the injector
+/// piling on extra pressure and promotion attempts, `System::run` must
+/// complete without panicking, fall back to base pages, and record every
+/// fallback in the `demotions` counter.
+#[test]
+fn fragmented_system_degrades_instead_of_panicking() {
+    use seesaw_check::FaultConfig;
+    use seesaw_sim::{L1DesignKind, RunConfig, System};
+
+    let cfg = RunConfig::quick("redis")
+        .design(L1DesignKind::Seesaw)
+        .memhog(85)
+        .with_checker()
+        .with_faults(FaultConfig::all(0x00c0_ffee).mean_interval(3_000));
+    let result = System::build(&cfg)
+        .expect("build must degrade to base pages, not fail")
+        .run()
+        .expect("run must survive allocation failure");
+    assert!(
+        result.demotions > 0,
+        "an 85% memhog must force base-page fallbacks (demotions = 0)"
+    );
+    assert!(result.totals.instructions > 0);
+    // Degradation must not corrupt anything the checker can see.
+    assert_eq!(result.checker.expect("checker enabled").violations.total(), 0);
+}
+
+/// The same squeeze without the injector: allocation-time fragmentation
+/// alone (Fig. 3's mechanism) already demotes, and a subsequent run is
+/// clean end to end.
+#[test]
+fn allocation_time_fragmentation_demotes_cleanly() {
+    use seesaw_sim::{L1DesignKind, RunConfig, System};
+
+    let cfg = RunConfig::quick("mcf")
+        .design(L1DesignKind::Seesaw)
+        .memhog(90);
+    let result = System::build(&cfg).unwrap().run().unwrap();
+    assert!(result.demotions > 0, "90% memhog, yet no demotions");
+    assert!(result.superpage_coverage < 1.0);
+}
