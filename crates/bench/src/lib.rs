@@ -28,6 +28,17 @@ pub fn ok_or_exit<T>(result: Result<T, seesaw_sim::SimError>) -> T {
     })
 }
 
+/// Prints the process-wide memo-cache counters. Sweep binaries call this
+/// last, so the output (and `scripts/bench.sh`, which scrapes it) shows
+/// how many grid cells the content-addressed cache deduplicated.
+pub fn print_memo_stats() {
+    let s = seesaw_sim::runner::memo_stats();
+    println!(
+        "[memo] {} hits / {} misses ({} distinct configs simulated)",
+        s.hits, s.misses, s.entries
+    );
+}
+
 /// The standard full-experiment budget.
 pub const FULL: u64 = 2_000_000;
 

@@ -7,7 +7,8 @@ use seesaw_core::InsertionPolicy;
 use seesaw_workloads::cloud_subset;
 
 use crate::report::pct;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
+use crate::runner::Plan;
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, Table};
 
 /// One ablation data point.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,24 +31,53 @@ fn cfg64(workload: &str, instructions: u64) -> RunConfig {
         .instructions(instructions)
 }
 
+/// Queues one cell per workload from `make` (which may queue several
+/// plan cells and must return their indices), runs the plan, and maps
+/// each workload's indices to an [`AblationRow`] through `row`.
+fn ablation<const N: usize>(
+    make: impl Fn(&mut Plan, &'static str) -> [usize; N],
+    row: impl Fn([&crate::RunResult; N]) -> (f64, f64),
+) -> Result<Vec<AblationRow>, SimError> {
+    let workloads = cloud_subset();
+    let mut plan = Plan::new();
+    let cells: Vec<[usize; N]> = workloads
+        .iter()
+        .map(|w| make(&mut plan, w.name))
+        .collect();
+    let results = plan.run()?;
+    Ok(workloads
+        .iter()
+        .zip(cells)
+        .map(|(w, indices)| {
+            let (value_a, value_b) = row(indices.map(|i| &results[i]));
+            AblationRow {
+                workload: w.name,
+                value_a,
+                value_b,
+            }
+        })
+        .collect())
+}
+
 /// §IV-B1: `4way` vs `4way-8way` insertion. The paper saw "only a 1%
 /// difference drop in hit rate with the 4way policy". Returns hit rates
 /// (percent) as `(four_way, four_eight_way)`.
 pub fn insertion_ablation(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
-    cloud_subset()
-        .iter()
-        .map(|w| {
-            let four = System::build(&cfg64(w.name, instructions))?.run()?;
-            let mut cfg = cfg64(w.name, instructions);
+    ablation(
+        |plan, name| {
+            let four = plan.push(format!("{name}/4way"), cfg64(name, instructions));
+            let mut cfg = cfg64(name, instructions);
             cfg.insertion = InsertionPolicy::FourWayEightWay;
-            let four_eight = System::build(&cfg)?.run()?;
-            Ok(AblationRow {
-                workload: w.name,
-                value_a: (1.0 - four.l1.miss_rate()) * 100.0,
-                value_b: (1.0 - four_eight.l1.miss_rate()) * 100.0,
-            })
-        })
-        .collect()
+            let four_eight = plan.push(format!("{name}/4way-8way"), cfg);
+            [four, four_eight]
+        },
+        |[four, four_eight]| {
+            (
+                (1.0 - four.l1.miss_rate()) * 100.0,
+                (1.0 - four_eight.l1.miss_rate()) * 100.0,
+            )
+        },
+    )
 }
 
 /// §IV-C3: TFT flushing on context switches (the no-ASID design) versus
@@ -55,48 +85,53 @@ pub fn insertion_ablation(instructions: u64) -> Result<Vec<AblationRow>, SimErro
 /// 1 % of performance. Returns cycles as `(flushing, ideal)` normalized
 /// to the ideal (percent).
 pub fn asid_flush_ablation(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
-    cloud_subset()
-        .iter()
-        .map(|w| {
+    ablation(
+        |plan, name| {
             // Aggressive switching: every 100k instructions.
-            let mut flushing_cfg = cfg64(w.name, instructions);
+            let mut flushing_cfg = cfg64(name, instructions);
             flushing_cfg.context_switch_interval = Some(100_000);
-            let flushing = System::build(&flushing_cfg)?.run()?;
-            let mut ideal_cfg = cfg64(w.name, instructions);
+            let flushing = plan.push(format!("{name}/flushing"), flushing_cfg);
+            let mut ideal_cfg = cfg64(name, instructions);
             ideal_cfg.context_switch_interval = None;
-            let ideal = System::build(&ideal_cfg)?.run()?;
-            Ok(AblationRow {
-                workload: w.name,
-                value_a: 100.0 * flushing.totals.cycles as f64 / ideal.totals.cycles as f64,
-                value_b: 100.0,
-            })
-        })
-        .collect()
+            let ideal = plan.push(format!("{name}/ideal"), ideal_cfg);
+            [flushing, ideal]
+        },
+        |[flushing, ideal]| {
+            (
+                100.0 * flushing.totals.cycles as f64 / ideal.totals.cycles as f64,
+                100.0,
+            )
+        },
+    )
 }
 
 /// §VI-B: snoopy coherence amplifies probe traffic, so SEESAW's energy
 /// savings grow by "an additional 2-5%" for multithreaded workloads.
 /// Returns energy savings (percent) as `(directory, snoopy)`.
 pub fn snoopy_ablation(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
-    cloud_subset()
-        .iter()
-        .map(|w| {
-            let saving = |snoopy: bool| -> Result<f64, SimError> {
-                let mut base_cfg = cfg64(w.name, instructions).design(L1DesignKind::BaselineVipt);
+    ablation(
+        |plan, name| {
+            let mut queue = |snoopy: bool, label: &str| {
+                let mut base_cfg = cfg64(name, instructions).design(L1DesignKind::BaselineVipt);
                 base_cfg.snoopy = snoopy;
-                let mut seesaw_cfg = cfg64(w.name, instructions);
+                let mut seesaw_cfg = cfg64(name, instructions);
                 seesaw_cfg.snoopy = snoopy;
-                let base = System::build(&base_cfg)?.run()?;
-                let seesaw = System::build(&seesaw_cfg)?.run()?;
-                Ok(seesaw.energy_savings_pct(&base))
+                [
+                    plan.push(format!("{name}/{label}/base"), base_cfg),
+                    plan.push(format!("{name}/{label}/seesaw"), seesaw_cfg),
+                ]
             };
-            Ok(AblationRow {
-                workload: w.name,
-                value_a: saving(false)?,
-                value_b: saving(true)?,
-            })
-        })
-        .collect()
+            let [dir_base, dir_seesaw] = queue(false, "directory");
+            let [snoop_base, snoop_seesaw] = queue(true, "snoopy");
+            [dir_base, dir_seesaw, snoop_base, snoop_seesaw]
+        },
+        |[dir_base, dir_seesaw, snoop_base, snoop_seesaw]| {
+            (
+                dir_seesaw.energy_savings_pct(dir_base),
+                snoop_seesaw.energy_savings_pct(snoop_base),
+            )
+        },
+    )
 }
 
 /// §VI-A's control experiment: spending SEESAW's area budget (TFT +
@@ -105,23 +140,24 @@ pub fn snoopy_ablation(instructions: u64) -> Result<Vec<AblationRow>, SimError> 
 /// less than 0.01% in all cases". Returns runtime improvement over the
 /// plain baseline (percent) as `(area_equivalent_baseline, seesaw)`.
 pub fn area_control(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
-    cloud_subset()
-        .iter()
-        .map(|w| {
-            let base_cfg = cfg64(w.name, instructions).design(L1DesignKind::BaselineVipt);
-            let base = System::build(&base_cfg)?.run()?;
+    ablation(
+        |plan, name| {
+            let base_cfg = cfg64(name, instructions).design(L1DesignKind::BaselineVipt);
+            let base = plan.push(format!("{name}/base"), base_cfg.clone());
             // The TFT's 86 bytes buy roughly 8 more TLB entries.
-            let mut bigger_cfg = base_cfg.clone();
+            let mut bigger_cfg = base_cfg;
             bigger_cfg.l1_tlb_4k_entries = Some(136);
-            let bigger = System::build(&bigger_cfg)?.run()?;
-            let seesaw = System::build(&cfg64(w.name, instructions))?.run()?;
-            Ok(AblationRow {
-                workload: w.name,
-                value_a: bigger.runtime_improvement_pct(&base),
-                value_b: seesaw.runtime_improvement_pct(&base),
-            })
-        })
-        .collect()
+            let bigger = plan.push(format!("{name}/tlb136"), bigger_cfg);
+            let seesaw = plan.push(format!("{name}/seesaw"), cfg64(name, instructions));
+            [base, bigger, seesaw]
+        },
+        |[base, bigger, seesaw]| {
+            (
+                bigger.runtime_improvement_pct(base),
+                seesaw.runtime_improvement_pct(base),
+            )
+        },
+    )
 }
 
 /// Robustness check: SEESAW's gains with and without an L2 stream
@@ -130,26 +166,29 @@ pub fn area_control(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
 /// a little: prefetching trims the miss stalls that dilute everything).
 /// Returns runtime improvement (percent) as `(no_prefetch, prefetch)`.
 pub fn prefetch_ablation(instructions: u64) -> Result<Vec<AblationRow>, SimError> {
-    cloud_subset()
-        .iter()
-        .map(|w| {
-            let gain = |degree: Option<usize>| -> Result<f64, SimError> {
-                let mut base_cfg =
-                    cfg64(w.name, instructions).design(L1DesignKind::BaselineVipt);
+    ablation(
+        |plan, name| {
+            let mut queue = |degree: Option<usize>, label: &str| {
+                let mut base_cfg = cfg64(name, instructions).design(L1DesignKind::BaselineVipt);
                 base_cfg.prefetch_degree = degree;
-                let mut seesaw_cfg = cfg64(w.name, instructions);
+                let mut seesaw_cfg = cfg64(name, instructions);
                 seesaw_cfg.prefetch_degree = degree;
-                let base = System::build(&base_cfg)?.run()?;
-                let seesaw = System::build(&seesaw_cfg)?.run()?;
-                Ok(seesaw.runtime_improvement_pct(&base))
+                [
+                    plan.push(format!("{name}/{label}/base"), base_cfg),
+                    plan.push(format!("{name}/{label}/seesaw"), seesaw_cfg),
+                ]
             };
-            Ok(AblationRow {
-                workload: w.name,
-                value_a: gain(None)?,
-                value_b: gain(Some(4))?,
-            })
-        })
-        .collect()
+            let [np_base, np_seesaw] = queue(None, "no-prefetch");
+            let [pf_base, pf_seesaw] = queue(Some(4), "prefetch4");
+            [np_base, np_seesaw, pf_base, pf_seesaw]
+        },
+        |[np_base, np_seesaw, pf_base, pf_seesaw]| {
+            (
+                np_seesaw.runtime_improvement_pct(np_base),
+                pf_seesaw.runtime_improvement_pct(pf_base),
+            )
+        },
+    )
 }
 
 /// Renders ablation rows with the given column labels.

@@ -4,10 +4,11 @@
 use seesaw_workloads::catalog;
 
 use crate::report::pct;
+use crate::runner::Plan;
 use crate::stats::Summary;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
+use crate::{CpuKind, Frequency, L1DesignKind, SimError, Table};
 
-use super::fig7::SIZES_KB;
+use super::fig7::{runtime_cfg, SIZES_KB};
 
 /// One Fig. 10 bar: energy savings summary for a core × size × frequency.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +35,7 @@ pub struct Fig11Row {
     pub coherence_share: f64,
 }
 
+#[cfg(test)]
 pub(crate) fn energy_saving(
     workload: &str,
     size_kb: u64,
@@ -41,62 +43,97 @@ pub(crate) fn energy_saving(
     cpu: CpuKind,
     instructions: u64,
 ) -> Result<(f64, f64, f64), SimError> {
-    let base_cfg = RunConfig::paper(workload)
-        .l1_size(size_kb)
-        .frequency(freq)
-        .cpu(cpu)
-        .instructions(instructions);
-    let base = System::build(&base_cfg)?.run()?;
-    let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw))?.run()?;
-    let saving = seesaw.energy_savings_pct(&base);
-    let (cpu_share, coh_share) = seesaw.energy.savings_split(&base.energy);
+    let base_cfg = runtime_cfg(workload, size_kb, freq, cpu, instructions);
+    let mut plan = Plan::new();
+    let base = plan.push(format!("{workload}/base"), base_cfg.clone());
+    let seesaw = plan.push(
+        format!("{workload}/seesaw"),
+        base_cfg.design(L1DesignKind::Seesaw),
+    );
+    let results = plan.run()?;
+    let saving = results[seesaw].energy_savings_pct(&results[base]);
+    let (cpu_share, coh_share) = results[seesaw].energy.savings_split(&results[base].energy);
     Ok((saving, cpu_share, coh_share))
 }
 
 /// Fig. 10: energy savings per core kind × frequency × size, summarized
-/// over all workloads.
+/// over all workloads. One plan covers the whole
+/// core × frequency × size × workload grid; the baseline/SEESAW pairs it
+/// shares with Figs. 7–9 are memoized, not re-run.
 pub fn fig10(instructions: u64) -> Result<Vec<Fig10Row>, SimError> {
     let workloads = catalog();
-    let mut rows = Vec::new();
+    let mut plan = Plan::new();
+    let mut cells = Vec::new();
     for (cpu, core) in [(CpuKind::InOrder, "InO"), (CpuKind::OutOfOrder, "OOO")] {
         for freq in Frequency::ALL {
             for &size_kb in &SIZES_KB {
-                let savings: Vec<f64> = workloads
+                let pairs: Vec<(usize, usize)> = workloads
                     .iter()
-                    .map(|w| Ok(energy_saving(w.name, size_kb, freq, cpu, instructions)?.0))
-                    .collect::<Result<_, SimError>>()?;
-                rows.push(Fig10Row {
-                    core,
-                    freq: freq.label(),
-                    size_kb,
-                    summary: Summary::of(&savings),
-                });
+                    .map(|w| {
+                        let base_cfg = runtime_cfg(w.name, size_kb, freq, cpu, instructions);
+                        let base =
+                            plan.push(format!("{}/{}KB/base", w.name, size_kb), base_cfg.clone());
+                        let seesaw = plan.push(
+                            format!("{}/{}KB/seesaw", w.name, size_kb),
+                            base_cfg.design(L1DesignKind::Seesaw),
+                        );
+                        (base, seesaw)
+                    })
+                    .collect();
+                cells.push((core, freq, size_kb, pairs));
             }
         }
     }
-    Ok(rows)
+    let results = plan.run()?;
+    Ok(cells
+        .into_iter()
+        .map(|(core, freq, size_kb, pairs)| {
+            let savings: Vec<f64> = pairs
+                .into_iter()
+                .map(|(base, seesaw)| results[seesaw].energy_savings_pct(&results[base]))
+                .collect();
+            Fig10Row {
+                core,
+                freq: freq.label(),
+                size_kb,
+                summary: Summary::of(&savings),
+            }
+        })
+        .collect())
 }
 
 /// Fig. 11: per-workload CPU-side vs coherence shares (64 KB, 1.33 GHz,
 /// out-of-order — the paper's configuration).
 pub fn fig11(instructions: u64) -> Result<Vec<Fig11Row>, SimError> {
-    catalog()
+    let workloads = catalog();
+    let mut plan = Plan::new();
+    let pairs: Vec<(usize, usize)> = workloads
         .iter()
         .map(|w| {
-            let (_, cpu_share, coherence_share) = energy_saving(
-                w.name,
-                64,
-                Frequency::F1_33,
-                CpuKind::OutOfOrder,
-                instructions,
-            )?;
-            Ok(Fig11Row {
+            let base_cfg =
+                runtime_cfg(w.name, 64, Frequency::F1_33, CpuKind::OutOfOrder, instructions);
+            let base = plan.push(format!("{}/base", w.name), base_cfg.clone());
+            let seesaw = plan.push(
+                format!("{}/seesaw", w.name),
+                base_cfg.design(L1DesignKind::Seesaw),
+            );
+            (base, seesaw)
+        })
+        .collect();
+    let results = plan.run()?;
+    Ok(workloads
+        .iter()
+        .zip(pairs)
+        .map(|(w, (base, seesaw))| {
+            let (cpu_share, coherence_share) =
+                results[seesaw].energy.savings_split(&results[base].energy);
+            Fig11Row {
                 workload: w.name,
                 cpu_share,
                 coherence_share,
-            })
+            }
         })
-        .collect()
+        .collect())
 }
 
 /// Renders Fig. 10.

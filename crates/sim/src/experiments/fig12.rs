@@ -4,7 +4,8 @@
 use seesaw_workloads::fig12_subset;
 
 use crate::report::pct;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
+use crate::runner::Plan;
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, Table};
 
 /// memhog pressures of Fig. 12.
 pub const FIG12_MEMHOG: [u32; 3] = [0, 30, 60];
@@ -25,9 +26,11 @@ pub struct Fig12Row {
     pub coverage: f64,
 }
 
-/// Runs the fragmentation sweep.
+/// Runs the fragmentation sweep as one plan (workload × memhog ×
+/// {baseline, SEESAW}).
 pub fn fig12(instructions: u64) -> Result<Vec<Fig12Row>, SimError> {
-    let mut rows = Vec::new();
+    let mut plan = Plan::new();
+    let mut cells = Vec::new();
     for spec in fig12_subset() {
         for &memhog in &FIG12_MEMHOG {
             let base_cfg = RunConfig::paper(spec.name)
@@ -36,18 +39,25 @@ pub fn fig12(instructions: u64) -> Result<Vec<Fig12Row>, SimError> {
                 .cpu(CpuKind::OutOfOrder)
                 .memhog(memhog)
                 .instructions(instructions);
-            let base = System::build(&base_cfg)?.run()?;
-            let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw))?.run()?;
-            rows.push(Fig12Row {
-                workload: spec.name,
-                memhog,
-                perf_pct: seesaw.runtime_improvement_pct(&base),
-                energy_pct: seesaw.energy_savings_pct(&base),
-                coverage: seesaw.superpage_coverage,
-            });
+            let base = plan.push(format!("{}/mh{}/base", spec.name, memhog), base_cfg.clone());
+            let seesaw = plan.push(
+                format!("{}/mh{}/seesaw", spec.name, memhog),
+                base_cfg.design(L1DesignKind::Seesaw),
+            );
+            cells.push((spec.name, memhog, base, seesaw));
         }
     }
-    Ok(rows)
+    let results = plan.run()?;
+    Ok(cells
+        .into_iter()
+        .map(|(workload, memhog, base, seesaw)| Fig12Row {
+            workload,
+            memhog,
+            perf_pct: results[seesaw].runtime_improvement_pct(&results[base]),
+            energy_pct: results[seesaw].energy_savings_pct(&results[base]),
+            coverage: results[seesaw].superpage_coverage,
+        })
+        .collect())
 }
 
 /// Renders the rows grouped like the paper's figure (mh0/mh30/mh60 per
@@ -69,6 +79,7 @@ pub fn fig12_table(rows: &[Fig12Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::System;
 
     #[test]
     fn benefits_shrink_but_survive_fragmentation() {

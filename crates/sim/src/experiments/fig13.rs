@@ -5,8 +5,9 @@
 use seesaw_workloads::catalog;
 
 use crate::report::pct;
+use crate::runner::Plan;
 use crate::stats::Summary;
-use crate::{L1DesignKind, RunConfig, SimError, System, Table};
+use crate::{L1DesignKind, RunConfig, SimError, Table};
 
 /// TFT sizes swept by Fig. 13.
 pub const FIG13_TFT_ENTRIES: [usize; 3] = [12, 16, 20];
@@ -26,22 +27,36 @@ pub struct Fig13Row {
     pub miss_l1_miss: Summary,
 }
 
-/// Runs the TFT sweep.
+/// Runs the TFT sweep as one plan over the full
+/// TFT-size × cache-size × workload grid.
 pub fn fig13(instructions: u64) -> Result<Vec<Fig13Row>, SimError> {
     let workloads = catalog();
-    let mut rows = Vec::new();
+    let mut plan = Plan::new();
+    let mut cells = Vec::new();
     for &tft_entries in &FIG13_TFT_ENTRIES {
         for &size_kb in &[32u64, 64, 128] {
+            let indices: Vec<usize> = workloads
+                .iter()
+                .map(|w| {
+                    let mut cfg = RunConfig::paper(w.name)
+                        .l1_size(size_kb)
+                        .design(L1DesignKind::Seesaw)
+                        .instructions(instructions);
+                    cfg.tft_entries = tft_entries;
+                    plan.push(format!("{}/tft{}/{}KB", w.name, tft_entries, size_kb), cfg)
+                })
+                .collect();
+            cells.push((tft_entries, size_kb, indices));
+        }
+    }
+    let results = plan.run()?;
+    let mut rows = Vec::new();
+    for (tft_entries, size_kb, indices) in cells {
+        {
             let mut hit_fracs = Vec::new();
             let mut miss_fracs = Vec::new();
-            for w in &workloads {
-                let mut cfg = RunConfig::paper(w.name)
-                    .l1_size(size_kb)
-                    .design(L1DesignKind::Seesaw)
-                    .instructions(instructions);
-                cfg.tft_entries = tft_entries;
-                let r = System::build(&cfg)?.run()?;
-                let s = r.seesaw;
+            for idx in indices {
+                let s = results[idx].seesaw;
                 let supers = s.super_tft_hit_cache_hit
                     + s.super_tft_hit_cache_miss
                     + s.super_tft_miss;
@@ -87,7 +102,7 @@ pub fn fig13_table(rows: &[Fig13Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Frequency, CpuKind};
+    use crate::{CpuKind, Frequency, System};
 
     fn tft_miss_fraction(workload: &str, tft_entries: usize) -> f64 {
         let mut cfg = RunConfig::quick(workload)

@@ -5,8 +5,9 @@
 use seesaw_workloads::catalog;
 
 use crate::report::pct;
+use crate::runner::Plan;
 use crate::stats::Summary;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, Table};
 
 /// One frequency's comparison: SEESAW versus the best alternative.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,9 +44,15 @@ fn alternatives() -> Vec<(String, L1DesignKind, Option<usize>)> {
 }
 
 /// Runs the design-space comparison at 128 KB across the three clocks.
+/// The whole panel — every frequency's baseline, SEESAW, and alternative
+/// cells — is one plan; the best-alternative selection happens on the
+/// collected results.
 pub fn fig14(instructions: u64) -> Result<Vec<Fig14Row>, SimError> {
     let workloads = catalog();
-    let mut rows = Vec::new();
+    let mut plan = Plan::new();
+    // Per frequency: baseline indices, SEESAW indices, and per-alternative
+    // indices, one per workload.
+    let mut cells = Vec::new();
     for freq in Frequency::ALL {
         let base_of = |w: &str| {
             RunConfig::paper(w)
@@ -54,34 +61,50 @@ pub fn fig14(instructions: u64) -> Result<Vec<Fig14Row>, SimError> {
                 .cpu(CpuKind::OutOfOrder)
                 .instructions(instructions)
         };
-        let baselines: Vec<_> = workloads
+        let baselines: Vec<usize> = workloads
             .iter()
-            .map(|w| System::build(&base_of(w.name))?.run())
-            .collect::<Result<_, SimError>>()?;
-
-        let eval = |design: L1DesignKind,
-                    tlb: Option<usize>|
-         -> Result<(Vec<f64>, Vec<f64>), SimError> {
-            let pairs = workloads
+            .map(|w| plan.push(format!("{}/base", w.name), base_of(w.name)))
+            .collect();
+        let mut queue = |design: L1DesignKind, tlb: Option<usize>, label: &str| -> Vec<usize> {
+            workloads
                 .iter()
-                .zip(&baselines)
-                .map(|(w, base)| {
+                .map(|w| {
                     let mut cfg = base_of(w.name).design(design);
                     cfg.l1_tlb_4k_entries = tlb;
-                    let r = System::build(&cfg)?.run()?;
-                    Ok((
-                        r.runtime_improvement_pct(base),
-                        r.energy_savings_pct(base),
-                    ))
+                    plan.push(format!("{}/{label}", w.name), cfg)
                 })
-                .collect::<Result<Vec<_>, SimError>>()?;
-            Ok(pairs.into_iter().unzip())
+                .collect()
         };
+        let seesaw = queue(L1DesignKind::Seesaw, None, "seesaw");
+        let alts: Vec<(String, Vec<usize>)> = alternatives()
+            .into_iter()
+            .map(|(name, design, tlb)| {
+                let indices = queue(design, tlb, &name);
+                (name, indices)
+            })
+            .collect();
+        cells.push((freq, baselines, seesaw, alts));
+    }
+    let results = plan.run()?;
 
-        let (seesaw_perf, seesaw_energy) = eval(L1DesignKind::Seesaw, None)?;
+    let mut rows = Vec::new();
+    for (freq, baselines, seesaw, alts) in cells {
+        let eval = |indices: &[usize]| -> (Vec<f64>, Vec<f64>) {
+            indices
+                .iter()
+                .zip(&baselines)
+                .map(|(&i, &b)| {
+                    (
+                        results[i].runtime_improvement_pct(&results[b]),
+                        results[i].energy_savings_pct(&results[b]),
+                    )
+                })
+                .unzip()
+        };
+        let (seesaw_perf, seesaw_energy) = eval(&seesaw);
         let mut best: Option<(String, Vec<f64>, Vec<f64>)> = None;
-        for (name, design, tlb) in alternatives() {
-            let (perf, energy) = eval(design, tlb)?;
+        for (name, indices) in alts {
+            let (perf, energy) = eval(&indices);
             let mean = perf.iter().sum::<f64>() / perf.len() as f64;
             let better = best
                 .as_ref()
@@ -130,6 +153,7 @@ pub fn fig14_table(rows: &[Fig14Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::System;
 
     #[test]
     fn seesaw_beats_a_pipt_alternative_at_128kb() {

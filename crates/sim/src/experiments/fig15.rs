@@ -4,7 +4,8 @@
 use seesaw_workloads::cloud_subset;
 
 use crate::report::pct;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
+use crate::runner::Plan;
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, Table};
 
 /// One workload's three-design comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,9 +28,12 @@ pub struct Fig15Row {
     pub wp_accuracy: f64,
 }
 
-/// Runs the three designs against the shared baseline.
+/// Runs the three designs against the shared baseline, all four cells per
+/// workload in one plan.
 pub fn fig15(instructions: u64) -> Result<Vec<Fig15Row>, SimError> {
-    cloud_subset()
+    let workloads = cloud_subset();
+    let mut plan = Plan::new();
+    let cells: Vec<[usize; 4]> = workloads
         .iter()
         .map(|w| {
             let base_cfg = RunConfig::paper(w.name)
@@ -37,23 +41,40 @@ pub fn fig15(instructions: u64) -> Result<Vec<Fig15Row>, SimError> {
                 .frequency(Frequency::F1_33)
                 .cpu(CpuKind::OutOfOrder)
                 .instructions(instructions);
-            let base = System::build(&base_cfg)?.run()?;
-            let run = |design| System::build(&base_cfg.clone().design(design))?.run();
-            let wp = run(L1DesignKind::BaselineWithWayPrediction)?;
-            let seesaw = run(L1DesignKind::Seesaw)?;
-            let combined = run(L1DesignKind::SeesawWithWayPrediction)?;
-            Ok(Fig15Row {
-                workload: w.name,
-                wp_perf: wp.runtime_improvement_pct(&base),
-                wp_energy: wp.energy_savings_pct(&base),
-                seesaw_perf: seesaw.runtime_improvement_pct(&base),
-                seesaw_energy: seesaw.energy_savings_pct(&base),
-                combined_perf: combined.runtime_improvement_pct(&base),
-                combined_energy: combined.energy_savings_pct(&base),
-                wp_accuracy: wp.way_prediction_accuracy.unwrap_or(0.0),
-            })
+            let base = plan.push(format!("{}/base", w.name), base_cfg.clone());
+            let mut queue = |label: &str, design| {
+                plan.push(
+                    format!("{}/{label}", w.name),
+                    base_cfg.clone().design(design),
+                )
+            };
+            let wp = queue("wp", L1DesignKind::BaselineWithWayPrediction);
+            let seesaw = queue("seesaw", L1DesignKind::Seesaw);
+            let combined = queue("wp+seesaw", L1DesignKind::SeesawWithWayPrediction);
+            [base, wp, seesaw, combined]
         })
-        .collect()
+        .collect();
+    let results = plan.run()?;
+    Ok(workloads
+        .iter()
+        .zip(cells)
+        .map(|(w, [base, wp, seesaw, combined])| {
+            let base = &results[base];
+            let wp = &results[wp];
+            let seesaw = &results[seesaw];
+            let combined = &results[combined];
+            Fig15Row {
+                workload: w.name,
+                wp_perf: wp.runtime_improvement_pct(base),
+                wp_energy: wp.energy_savings_pct(base),
+                seesaw_perf: seesaw.runtime_improvement_pct(base),
+                seesaw_energy: seesaw.energy_savings_pct(base),
+                combined_perf: combined.runtime_improvement_pct(base),
+                combined_energy: combined.energy_savings_pct(base),
+                wp_accuracy: wp.way_prediction_accuracy.unwrap_or(0.0),
+            }
+        })
+        .collect())
 }
 
 /// Renders the rows.

@@ -3,9 +3,10 @@
 
 use seesaw_cache::{CacheConfig, IndexPolicy, SetAssocCache, WayMask};
 use seesaw_energy::SramModel;
-use seesaw_workloads::{catalog, TraceGenerator};
+use seesaw_workloads::{catalog, TraceGenerator, WorkloadSpec};
 
 use crate::report::num;
+use crate::runner::parallel_map;
 use crate::Table;
 
 /// Associativities swept by Fig. 2 (DM through 32-way).
@@ -36,40 +37,61 @@ pub struct Fig2bRow {
     pub value: f64,
 }
 
+/// One functional cache simulation of `fig2a`'s sweep: a workload's
+/// trace against one geometry.
+fn fig2a_cell(spec: &WorkloadSpec, size_kb: u64, ways: usize, refs: usize) -> f64 {
+    // Indexing policy is irrelevant for a hit-rate study; use
+    // physical-style modulo indexing over the trace offsets.
+    let config = CacheConfig::new(size_kb << 10, ways, 64, IndexPolicy::Pipt);
+    let mut cache = SetAssocCache::new(config);
+    let sets = config.sets();
+    let full = WayMask::all(ways);
+    let mut generator = TraceGenerator::new(spec, 0xf162a);
+    let mut instructions = 0u64;
+    for _ in 0..refs {
+        let r = generator.next_ref();
+        instructions += r.gap + 1;
+        let ptag = r.offset / 64;
+        let set = (ptag as usize) % sets;
+        let hit = if r.is_write {
+            cache.write(set, ptag, full).hit
+        } else {
+            cache.read(set, ptag, full).hit
+        };
+        if !hit {
+            cache.fill(set, ptag, full, r.is_write);
+        }
+    }
+    cache.stats().mpki(instructions)
+}
+
 /// Fig. 2a: average L1 MPKI versus associativity, per cache size.
 /// Functional cache simulation over every workload's trace
-/// (`refs_per_workload` references each).
+/// (`refs_per_workload` references each), run across the worker pool —
+/// one task per size × associativity × workload triple.
 pub fn fig2a(refs_per_workload: usize) -> Vec<Fig2aRow> {
     let workloads = catalog();
+    let mut triples = Vec::new();
+    for &size_kb in &FIG2A_SIZES_KB {
+        for &ways in &FIG2_ASSOCS {
+            for spec in &workloads {
+                triples.push((size_kb, ways, *spec));
+            }
+        }
+    }
+    let mpkis = parallel_map(&triples, |&(size_kb, ways, spec)| {
+        fig2a_cell(&spec, size_kb, ways, refs_per_workload)
+    });
+
     let mut rows = Vec::new();
     for &size_kb in &FIG2A_SIZES_KB {
         for &ways in &FIG2_ASSOCS {
-            let mut mpki_sum = 0.0;
-            for spec in &workloads {
-                // Indexing policy is irrelevant for a hit-rate study; use
-                // physical-style modulo indexing over the trace offsets.
-                let config = CacheConfig::new(size_kb << 10, ways, 64, IndexPolicy::Pipt);
-                let mut cache = SetAssocCache::new(config);
-                let sets = config.sets();
-                let full = WayMask::all(ways);
-                let mut generator = TraceGenerator::new(spec, 0xf162a);
-                let mut instructions = 0u64;
-                for _ in 0..refs_per_workload {
-                    let r = generator.next_ref();
-                    instructions += r.gap + 1;
-                    let ptag = r.offset / 64;
-                    let set = (ptag as usize) % sets;
-                    let hit = if r.is_write {
-                        cache.write(set, ptag, full).hit
-                    } else {
-                        cache.read(set, ptag, full).hit
-                    };
-                    if !hit {
-                        cache.fill(set, ptag, full, r.is_write);
-                    }
-                }
-                mpki_sum += cache.stats().mpki(instructions);
-            }
+            let mpki_sum: f64 = triples
+                .iter()
+                .zip(&mpkis)
+                .filter(|((s, w, _), _)| *s == size_kb && *w == ways)
+                .map(|(_, &mpki)| mpki)
+                .sum();
             rows.push(Fig2aRow {
                 size_kb,
                 ways,

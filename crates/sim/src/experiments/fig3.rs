@@ -4,6 +4,7 @@
 use seesaw_workloads::catalog;
 
 use crate::report::pct;
+use crate::runner::parallel_map;
 use crate::{RunConfig, SimError, System, Table};
 
 /// memhog pressures of Fig. 3.
@@ -19,22 +20,34 @@ pub struct Fig3Row {
 }
 
 /// Runs the allocation study: no trace simulation required — coverage is
-/// determined at footprint-population time.
+/// determined at footprint-population time, so the cells are plain
+/// build-only tasks on the worker pool rather than [`crate::Plan`] runs.
 pub fn fig3() -> Result<Vec<Fig3Row>, SimError> {
-    catalog()
-        .iter()
-        .map(|spec| {
-            let mut coverage = [0.0; 4];
-            for (slot, &pct) in FIG3_MEMHOG.iter().enumerate() {
-                let config = RunConfig::paper(spec.name).memhog(pct);
-                coverage[slot] = System::build(&config)?.superpage_coverage();
-            }
-            Ok(Fig3Row {
-                workload: spec.name,
-                coverage,
-            })
-        })
-        .collect()
+    let workloads = catalog();
+    let mut cells = Vec::new();
+    for spec in &workloads {
+        for &pct in &FIG3_MEMHOG {
+            cells.push((spec.name, pct));
+        }
+    }
+    let coverages = parallel_map(&cells, |&(name, pct)| {
+        let config = RunConfig::paper(name).memhog(pct);
+        Ok::<f64, SimError>(System::build(&config)?.superpage_coverage())
+    });
+
+    let mut rows = Vec::new();
+    let mut outcomes = coverages.into_iter();
+    for w in &workloads {
+        let mut coverage = [0.0; 4];
+        for slot in coverage.iter_mut() {
+            *slot = outcomes.next().expect("one coverage per cell")?;
+        }
+        rows.push(Fig3Row {
+            workload: w.name,
+            coverage,
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders the rows.

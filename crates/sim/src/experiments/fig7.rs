@@ -3,8 +3,9 @@
 use seesaw_workloads::catalog;
 
 use crate::report::pct;
+use crate::runner::Plan;
 use crate::stats::Summary;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, Table};
 
 /// Cache sizes of the runtime studies.
 pub const SIZES_KB: [u64; 3] = [32, 64, 128];
@@ -31,8 +32,25 @@ pub struct FreqSweepRow {
     pub summary: Summary,
 }
 
+/// The shared baseline configuration of the runtime studies.
+pub(crate) fn runtime_cfg(
+    workload: &str,
+    size_kb: u64,
+    freq: Frequency,
+    cpu: CpuKind,
+    instructions: u64,
+) -> RunConfig {
+    RunConfig::paper(workload)
+        .l1_size(size_kb)
+        .frequency(freq)
+        .cpu(cpu)
+        .instructions(instructions)
+}
+
 /// Runs baseline and SEESAW for one configuration and returns the
-/// runtime improvement.
+/// runtime improvement (spot-check helper for the test suites; the
+/// figure drivers batch whole grids instead).
+#[cfg(test)]
 pub(crate) fn improvement(
     workload: &str,
     size_kb: u64,
@@ -40,36 +58,50 @@ pub(crate) fn improvement(
     cpu: CpuKind,
     instructions: u64,
 ) -> Result<f64, SimError> {
-    let base_cfg = RunConfig::paper(workload)
-        .l1_size(size_kb)
-        .frequency(freq)
-        .cpu(cpu)
-        .instructions(instructions);
-    let base = System::build(&base_cfg)?.run()?;
-    let seesaw = System::build(&base_cfg.clone().design(L1DesignKind::Seesaw))?.run()?;
-    Ok(seesaw.runtime_improvement_pct(&base))
+    let base_cfg = runtime_cfg(workload, size_kb, freq, cpu, instructions);
+    let mut plan = Plan::new();
+    let base = plan.push(format!("{workload}/base"), base_cfg.clone());
+    let seesaw = plan.push(
+        format!("{workload}/seesaw"),
+        base_cfg.design(L1DesignKind::Seesaw),
+    );
+    let results = plan.run()?;
+    Ok(results[seesaw].runtime_improvement_pct(&results[base]))
 }
 
 /// Fig. 7: per-workload runtime improvement on the out-of-order core at
-/// 1.33 GHz, for 32/64/128 KB caches.
+/// 1.33 GHz, for 32/64/128 KB caches. The whole grid is one [`Plan`]:
+/// every cell runs concurrently and the baselines are shared with any
+/// other figure at the same geometry.
 pub fn fig7(instructions: u64) -> Result<Vec<Fig7Row>, SimError> {
-    let mut rows = Vec::new();
+    let mut plan = Plan::new();
+    let mut cells = Vec::new();
     for spec in catalog() {
         for &size_kb in &SIZES_KB {
-            rows.push(Fig7Row {
-                workload: spec.name,
+            let base_cfg = runtime_cfg(
+                spec.name,
                 size_kb,
-                improvement_pct: improvement(
-                    spec.name,
-                    size_kb,
-                    Frequency::F1_33,
-                    CpuKind::OutOfOrder,
-                    instructions,
-                )?,
-            });
+                Frequency::F1_33,
+                CpuKind::OutOfOrder,
+                instructions,
+            );
+            let base = plan.push(format!("{}/{}KB/base", spec.name, size_kb), base_cfg.clone());
+            let seesaw = plan.push(
+                format!("{}/{}KB/seesaw", spec.name, size_kb),
+                base_cfg.design(L1DesignKind::Seesaw),
+            );
+            cells.push((spec.name, size_kb, base, seesaw));
         }
     }
-    Ok(rows)
+    let results = plan.run()?;
+    Ok(cells
+        .into_iter()
+        .map(|(workload, size_kb, base, seesaw)| Fig7Row {
+            workload,
+            size_kb,
+            improvement_pct: results[seesaw].runtime_improvement_pct(&results[base]),
+        })
+        .collect())
 }
 
 /// Fig. 8: frequency sweep on the out-of-order core (avg/min/max over all
@@ -85,21 +117,41 @@ pub fn fig9(instructions: u64) -> Result<Vec<FreqSweepRow>, SimError> {
 
 fn freq_sweep(cpu: CpuKind, instructions: u64) -> Result<Vec<FreqSweepRow>, SimError> {
     let workloads = catalog();
-    let mut rows = Vec::new();
+    let mut plan = Plan::new();
+    let mut cells = Vec::new();
     for freq in Frequency::ALL {
         for &size_kb in &SIZES_KB {
-            let improvements: Vec<f64> = workloads
+            let pairs: Vec<(usize, usize)> = workloads
                 .iter()
-                .map(|w| improvement(w.name, size_kb, freq, cpu, instructions))
-                .collect::<Result<_, _>>()?;
-            rows.push(FreqSweepRow {
+                .map(|w| {
+                    let base_cfg = runtime_cfg(w.name, size_kb, freq, cpu, instructions);
+                    let base =
+                        plan.push(format!("{}/{}KB/base", w.name, size_kb), base_cfg.clone());
+                    let seesaw = plan.push(
+                        format!("{}/{}KB/seesaw", w.name, size_kb),
+                        base_cfg.design(L1DesignKind::Seesaw),
+                    );
+                    (base, seesaw)
+                })
+                .collect();
+            cells.push((freq, size_kb, pairs));
+        }
+    }
+    let results = plan.run()?;
+    Ok(cells
+        .into_iter()
+        .map(|(freq, size_kb, pairs)| {
+            let improvements: Vec<f64> = pairs
+                .into_iter()
+                .map(|(base, seesaw)| results[seesaw].runtime_improvement_pct(&results[base]))
+                .collect();
+            FreqSweepRow {
                 freq: freq.label(),
                 size_kb,
                 summary: Summary::of(&improvements),
-            });
-        }
-    }
-    Ok(rows)
+            }
+        })
+        .collect())
 }
 
 /// Renders Fig. 7 rows (workloads × sizes).

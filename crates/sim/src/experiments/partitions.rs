@@ -10,7 +10,8 @@
 use seesaw_energy::SramModel;
 
 use crate::report::pct;
-use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, System, Table};
+use crate::runner::Plan;
+use crate::{CpuKind, Frequency, L1DesignKind, RunConfig, SimError, Table};
 
 /// One partition-size data point.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,25 +39,35 @@ pub fn partition_ablation(instructions: u64) -> Result<Vec<PartitionRow>, SimErr
         .frequency(Frequency::F1_33)
         .cpu(CpuKind::OutOfOrder)
         .instructions(instructions);
-    let baseline = System::build(&base_cfg)?.run()?;
-
-    [2usize, 4, 8]
+    let mut plan = Plan::new();
+    let baseline = plan.push("redis/base", base_cfg.clone());
+    let sweep: Vec<(usize, usize, usize)> = [2usize, 4, 8]
         .into_iter()
         .map(|ways_per_partition| {
             let partitions = 16 / ways_per_partition;
             let mut cfg = base_cfg.clone().design(L1DesignKind::Seesaw);
             cfg.seesaw_partitions = Some(partitions);
-            let r = System::build(&cfg)?.run()?;
-            Ok(PartitionRow {
+            let idx = plan.push(format!("redis/{partitions}p"), cfg);
+            (ways_per_partition, partitions, idx)
+        })
+        .collect();
+    let results = plan.run()?;
+    let baseline = &results[baseline];
+
+    Ok(sweep
+        .into_iter()
+        .map(|(ways_per_partition, partitions, idx)| {
+            let r = &results[idx];
+            PartitionRow {
                 ways_per_partition,
                 partitions,
                 fast_cycles: sram.partition_lookup_cycles(64, 16, partitions, 1.33),
-                perf_pct: r.runtime_improvement_pct(&baseline),
-                energy_pct: r.energy_savings_pct(&baseline),
+                perf_pct: r.runtime_improvement_pct(baseline),
+                energy_pct: r.energy_savings_pct(baseline),
                 mpki: r.l1_mpki,
-            })
+            }
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the sweep.
@@ -95,6 +106,7 @@ pub fn valid_partitioning(size_kb: u64, partitions: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::System;
 
     #[test]
     fn narrower_partitions_save_more_energy() {

@@ -11,8 +11,9 @@
 //! for the three policies.
 
 use crate::report::pct;
+use crate::runner::Plan;
 use crate::{
-    CpuKind, Frequency, L1DesignKind, RunConfig, SchedulerHintPolicy, SimError, System, Table,
+    CpuKind, Frequency, L1DesignKind, RunConfig, SchedulerHintPolicy, SimError, Table,
 };
 
 /// One cell of the sweep.
@@ -36,9 +37,12 @@ pub const SQUASH_COSTS: [u64; 3] = [0, 4, 12];
 pub const MEMHOG_LEVELS: [u32; 2] = [0, 60];
 
 /// Runs the sweep on one representative workload (redis, 64 KB,
-/// out-of-order at 1.33 GHz).
+/// out-of-order at 1.33 GHz). One baseline cell per memhog level serves
+/// every policy × squash cell — the baseline is hoisted out of the inner
+/// loops entirely and shared through the plan.
 pub fn scheduler_ablation(instructions: u64) -> Result<Vec<SchedulerRow>, SimError> {
-    let mut rows = Vec::new();
+    let mut plan = Plan::new();
+    let mut cells = Vec::new();
     for &memhog in &MEMHOG_LEVELS {
         let base_cfg = RunConfig::paper("redis")
             .l1_size(64)
@@ -46,7 +50,7 @@ pub fn scheduler_ablation(instructions: u64) -> Result<Vec<SchedulerRow>, SimErr
             .cpu(CpuKind::OutOfOrder)
             .memhog(memhog)
             .instructions(instructions);
-        let baseline = System::build(&base_cfg)?.run()?;
+        let baseline = plan.push(format!("redis/mh{memhog}/base"), base_cfg.clone());
         for policy in [
             SchedulerHintPolicy::Occupancy,
             SchedulerHintPolicy::AlwaysFast,
@@ -56,17 +60,24 @@ pub fn scheduler_ablation(instructions: u64) -> Result<Vec<SchedulerRow>, SimErr
                 let mut cfg = base_cfg.clone().design(L1DesignKind::Seesaw);
                 cfg.scheduler_hint = policy;
                 cfg.hit_time_squash_cycles = squash_cycles;
-                let r = System::build(&cfg)?.run()?;
-                rows.push(SchedulerRow {
-                    policy,
-                    squash_cycles,
-                    memhog,
-                    improvement_pct: r.runtime_improvement_pct(&baseline),
-                });
+                let idx = plan.push(
+                    format!("redis/mh{memhog}/{policy:?}/sq{squash_cycles}"),
+                    cfg,
+                );
+                cells.push((policy, squash_cycles, memhog, baseline, idx));
             }
         }
     }
-    Ok(rows)
+    let results = plan.run()?;
+    Ok(cells
+        .into_iter()
+        .map(|(policy, squash_cycles, memhog, baseline, idx)| SchedulerRow {
+            policy,
+            squash_cycles,
+            memhog,
+            improvement_pct: results[idx].runtime_improvement_pct(&results[baseline]),
+        })
+        .collect())
 }
 
 /// Renders the sweep.
@@ -86,6 +97,7 @@ pub fn scheduler_table(rows: &[SchedulerRow]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::System;
 
     fn improvement(
         policy: SchedulerHintPolicy,

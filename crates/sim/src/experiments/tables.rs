@@ -5,6 +5,7 @@ use seesaw_core::{L1DataCache, L1Request, L1Timing, LookupCase, SeesawConfig, Se
 use seesaw_energy::SramModel;
 use seesaw_mem::{PageSize, PhysAddr, VirtAddr};
 
+use crate::runner::parallel_map;
 use crate::{Frequency, Table};
 
 /// One row of Table I: the anatomy of a SEESAW lookup.
@@ -138,23 +139,27 @@ pub struct Table3Row {
     pub super_cycles: u64,
 }
 
-/// Reproduces Table III from the SRAM model.
+/// Reproduces Table III from the SRAM model. Each geometry × frequency
+/// cell is independent pure math, so the sweep rides the worker pool like
+/// every other driver (it is trivially cheap either way).
 pub fn table3() -> Vec<Table3Row> {
-    let sram = SramModel::tsmc28_scaled_22nm();
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for (size_kb, ways, partitions) in [(32u64, 8usize, 2usize), (64, 16, 4), (128, 32, 8)] {
         for freq in Frequency::ALL {
-            rows.push(Table3Row {
-                size_kb,
-                ways,
-                freq: freq.label(),
-                tft_cycles: 1,
-                base_cycles: sram.full_lookup_cycles(size_kb, ways, freq.ghz()),
-                super_cycles: sram.partition_lookup_cycles(size_kb, ways, partitions, freq.ghz()),
-            });
+            cells.push((size_kb, ways, partitions, freq));
         }
     }
-    rows
+    parallel_map(&cells, |&(size_kb, ways, partitions, freq)| {
+        let sram = SramModel::tsmc28_scaled_22nm();
+        Table3Row {
+            size_kb,
+            ways,
+            freq: freq.label(),
+            tft_cycles: 1,
+            base_cycles: sram.full_lookup_cycles(size_kb, ways, freq.ghz()),
+            super_cycles: sram.partition_lookup_cycles(size_kb, ways, partitions, freq.ghz()),
+        }
+    })
 }
 
 /// Renders Table III.

@@ -10,7 +10,11 @@
 //!
 //! [`experiments`] hosts one driver per table and figure in the paper's
 //! evaluation; the `seesaw-bench` crate's binaries and Criterion benches
-//! call straight into them.
+//! call straight into them. Every driver executes through [`runner`],
+//! the deterministic parallel experiment engine: independent grid cells
+//! run across a scoped worker pool and repeated configurations (notably
+//! the shared baselines) are memoized per process, bit-identical to a
+//! serial sweep.
 //!
 //! For robustness work, [`RunConfig::with_checker`] runs the
 //! `seesaw-check` differential shadow model in lockstep with the timing
@@ -41,6 +45,7 @@ mod config;
 mod error;
 pub mod experiments;
 mod report;
+pub mod runner;
 mod stats;
 mod system;
 
@@ -48,5 +53,6 @@ pub use config::{CpuKind, Frequency, L1DesignKind, RunConfig, SchedulerHintPolic
 pub use chart::BarChart;
 pub use error::SimError;
 pub use report::Table;
+pub use runner::{MemoStats, Plan};
 pub use stats::{RunResult, Sample, Summary};
 pub use system::System;

@@ -1,0 +1,325 @@
+//! Deterministic parallel experiment engine with memoized runs.
+//!
+//! The paper's evaluation is a large grid of *independent* simulations:
+//! every figure and table sweeps workloads × designs × knobs, and many
+//! cells (most prominently the baseline-VIPT runs every comparison
+//! divides by) recur across sweeps. This module gives every driver the
+//! same two-layer engine:
+//!
+//! * **A scoped worker pool.** [`Plan`] collects `(label, RunConfig)`
+//!   cells and [`Plan::run`] executes them across `std::thread::scope`
+//!   workers (no external dependencies — see the rand/proptest/criterion
+//!   path shims for why the workspace builds offline). Results come back
+//!   in plan order, and because every run is seeded purely by its own
+//!   [`RunConfig`], the parallel output is bit-identical to executing the
+//!   same plan serially.
+//! * **A content-addressed memo cache.** Each config is fingerprinted
+//!   (its full `Debug` rendering — every field participates, so two
+//!   configs collide only when they are equal) and finished
+//!   [`RunResult`]s are kept in a process-wide table. A config that
+//!   recurs — across cells of one plan, across plans, across figures in
+//!   one binary, or across `cargo test` threads — is simulated once per
+//!   process and served from the cache afterwards. Determinism makes
+//!   this sound: a memoized result is the result a fresh run would
+//!   produce.
+//!
+//! The worker count defaults to the machine's available parallelism and
+//! can be pinned with the `SEESAW_THREADS` environment variable (used by
+//! `scripts/check.sh` and `scripts/bench.sh`).
+//!
+//! # Example
+//!
+//! ```
+//! use seesaw_sim::{runner::Plan, L1DesignKind, RunConfig};
+//!
+//! let mut plan = Plan::new();
+//! let base = plan.push("base", RunConfig::quick("redis"));
+//! let seesaw = plan.push("seesaw", RunConfig::quick("redis").design(L1DesignKind::Seesaw));
+//! let results = plan.run().unwrap();
+//! assert!(results[seesaw].runtime_improvement_pct(&results[base]) > 0.0);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::{RunConfig, RunResult, SimError, System};
+
+/// Process-wide memo cache state.
+struct MemoState {
+    results: HashMap<String, RunResult>,
+    hits: u64,
+    misses: u64,
+}
+
+static MEMO: OnceLock<Mutex<MemoState>> = OnceLock::new();
+
+fn memo() -> &'static Mutex<MemoState> {
+    MEMO.get_or_init(|| {
+        Mutex::new(MemoState {
+            results: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        })
+    })
+}
+
+/// A snapshot of the process-wide memo cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Plan cells served from the cache (including duplicates inside one
+    /// plan, which are simulated once).
+    pub hits: u64,
+    /// Plan cells that required a fresh simulation.
+    pub misses: u64,
+    /// Distinct configurations currently cached.
+    pub entries: usize,
+}
+
+/// Returns the memo-cache counters accumulated so far in this process.
+pub fn memo_stats() -> MemoStats {
+    let m = memo().lock().expect("memo lock");
+    MemoStats {
+        hits: m.hits,
+        misses: m.misses,
+        entries: m.results.len(),
+    }
+}
+
+/// The content address of a configuration: its complete `Debug`
+/// rendering. Every `RunConfig` field derives `Debug`, so the fingerprint
+/// changes whenever any knob changes and two fingerprints are equal only
+/// for equal configs — no hand-maintained hash to fall out of sync.
+pub fn fingerprint(config: &RunConfig) -> String {
+    format!("{config:?}")
+}
+
+/// The worker count: `SEESAW_THREADS` when set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn worker_threads() -> usize {
+    match std::env::var("SEESAW_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// An ordered parallel map: applies `f` to every item across the worker
+/// pool and returns the outputs in input order. Used directly by drivers
+/// whose unit of work is not a full [`RunConfig`] simulation (e.g. the
+/// Fig. 2a functional cache sweep) and by [`Plan::run`] underneath.
+pub fn parallel_map<T, R>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    parallel_map_with(worker_threads(), items, f)
+}
+
+fn parallel_map_with<T, R>(threads: usize, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *slots[i].lock().expect("slot lock") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+/// An ordered grid of labelled simulation cells.
+///
+/// Drivers push one cell per `System::build(..)?.run()?` they need,
+/// remember the returned indices, call [`Plan::run`] once, and assemble
+/// their rows from the ordered results. See the module docs for the
+/// execution and memoization model.
+#[derive(Debug, Default)]
+pub struct Plan {
+    cells: Vec<(String, RunConfig)>,
+    threads: Option<usize>,
+}
+
+impl Plan {
+    /// An empty plan using the default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan pinned to `threads` workers (tests use this to
+    /// exercise the parallel path regardless of the host's core count).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            cells: Vec::new(),
+            threads: Some(threads.max(1)),
+        }
+    }
+
+    /// Appends a cell and returns its index into [`Plan::run`]'s output.
+    pub fn push(&mut self, label: impl Into<String>, config: RunConfig) -> usize {
+        self.cells.push((label.into(), config));
+        self.cells.len() - 1
+    }
+
+    /// Number of cells queued.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Executes every cell — distinct configurations in parallel, each
+    /// simulated at most once per process — and returns the results in
+    /// plan order.
+    ///
+    /// # Errors
+    /// Returns the error of the earliest cell (in plan order) whose
+    /// simulation failed — the same error a serial front-to-back
+    /// execution of the plan would have surfaced first.
+    pub fn run(self) -> Result<Vec<RunResult>, SimError> {
+        let threads = self.threads.unwrap_or_else(worker_threads);
+        let keys: Vec<String> = self.cells.iter().map(|(_, c)| fingerprint(c)).collect();
+
+        // Distinct configurations not already memoized become jobs.
+        let mut jobs: Vec<(String, RunConfig)> = Vec::new();
+        {
+            let m = memo().lock().expect("memo lock");
+            let mut queued: HashSet<&str> = HashSet::new();
+            for ((_, cfg), key) in self.cells.iter().zip(&keys) {
+                if !m.results.contains_key(key.as_str()) && queued.insert(key) {
+                    jobs.push((key.clone(), cfg.clone()));
+                }
+            }
+        }
+
+        let outcomes = parallel_map_with(threads, &jobs, |(_, cfg)| System::build(cfg)?.run());
+
+        let mut errors: HashMap<String, SimError> = HashMap::new();
+        {
+            let mut m = memo().lock().expect("memo lock");
+            m.misses += jobs.len() as u64;
+            m.hits += (keys.len() - jobs.len()) as u64;
+            for ((key, _), outcome) in jobs.into_iter().zip(outcomes) {
+                match outcome {
+                    Ok(result) => {
+                        m.results.insert(key, result);
+                    }
+                    Err(e) => {
+                        errors.insert(key, e);
+                    }
+                }
+            }
+        }
+
+        // Surface the earliest failure in plan order, as serial execution
+        // would have.
+        for key in &keys {
+            if let Some(e) = errors.remove(key) {
+                return Err(e);
+            }
+        }
+
+        let m = memo().lock().expect("memo lock");
+        Ok(keys
+            .iter()
+            .map(|k| m.results[k.as_str()].clone())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::L1DesignKind;
+
+    #[test]
+    fn fingerprints_distinguish_configs() {
+        let a = RunConfig::quick("redis");
+        let b = RunConfig::quick("redis").design(L1DesignKind::Seesaw);
+        let c = RunConfig::quick("redis").memhog(10);
+        assert_eq!(fingerprint(&a), fingerprint(&RunConfig::quick("redis")));
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_with(4, &items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_plan_runs() {
+        assert!(Plan::new().run().unwrap().is_empty());
+        assert!(Plan::new().is_empty());
+    }
+
+    #[test]
+    fn duplicate_cells_simulate_once() {
+        let cfg = RunConfig::quick("astar").instructions(40_000);
+        let mut plan = Plan::with_threads(2);
+        let a = plan.push("first", cfg.clone());
+        let b = plan.push("second", cfg.clone());
+        let before = memo_stats();
+        let results = plan.run().unwrap();
+        let after = memo_stats();
+        assert_eq!(results[a].totals.cycles, results[b].totals.cycles);
+        // At most one fresh simulation for the pair; the sibling cell is
+        // a hit (the config itself may already be cached process-wide).
+        assert!(after.misses - before.misses <= 1);
+        assert!(after.hits - before.hits >= 1);
+    }
+
+    #[test]
+    fn plan_matches_serial_execution() {
+        let configs = [
+            RunConfig::quick("astar").instructions(40_000),
+            RunConfig::quick("astar")
+                .instructions(40_000)
+                .design(L1DesignKind::Seesaw),
+        ];
+        let mut plan = Plan::with_threads(2);
+        for (i, cfg) in configs.iter().enumerate() {
+            plan.push(format!("cell{i}"), cfg.clone());
+        }
+        let parallel = plan.run().unwrap();
+        for (cfg, got) in configs.iter().zip(&parallel) {
+            let serial = System::build(cfg).unwrap().run().unwrap();
+            assert_eq!(serial.totals.cycles, got.totals.cycles);
+            assert_eq!(serial.l1.misses, got.l1.misses);
+            assert_eq!(
+                serial.energy.total_nj().to_bits(),
+                got.energy.total_nj().to_bits()
+            );
+        }
+    }
+}

@@ -12,7 +12,7 @@ use seesaw_cpu::{CpuModel, InOrderCpu, OooCpu};
 use seesaw_energy::{EnergyAccount, EnergyModel, SramModel};
 use seesaw_mem::{
     AddressSpace, MemError, Memhog, MemhogConfig, PageSize, PageTableOp, PhysAddr, PhysicalMemory,
-    ThpPolicy, VirtAddr, Vma,
+    ThpPolicy, Translation, VirtAddr, Vma,
 };
 use seesaw_tlb::{TlbHierarchy, TlbHierarchyConfig, TlbLevel};
 use seesaw_workloads::TraceGenerator;
@@ -127,6 +127,14 @@ pub struct System {
     /// Instructions executed across every simulate() call, so injector
     /// schedules and checker diagnostics span warmup + measurement.
     elapsed: u64,
+    /// One-entry last-translation micro-cache in front of
+    /// `space.translate`: the prewarm replay and the per-access shadow
+    /// check walk the same page for many consecutive references, so one
+    /// remembered page-table entry short-circuits the page-table's
+    /// BTreeMap probes. Invalidated on *every* page-table mutation path
+    /// (splinters, promotions, shootdowns, memory pressure) so the
+    /// differential checker still compares against ground truth.
+    last_translation: Option<Translation>,
 }
 
 impl System {
@@ -304,7 +312,34 @@ impl System {
             pressure_hogs: Vec::new(),
             run_demotions: 0,
             elapsed: 0,
+            last_translation: None,
         })
+    }
+
+    /// Translates `va` through the one-entry last-translation micro-cache.
+    ///
+    /// Workload traces have strong page locality, so consecutive
+    /// references usually land in the page the previous one resolved;
+    /// when they do, the physical address is synthesized from the cached
+    /// [`Translation`] without walking the page-table maps. The cached
+    /// entry is dropped on every page-table mutation (see
+    /// [`System::apply_page_op`] and [`System::apply_fault`]) so the
+    /// answer is always what `space.translate` would return — the shadow
+    /// checker compares against exactly this value.
+    #[inline]
+    fn translate_cached(&mut self, va: VirtAddr) -> Option<Translation> {
+        if let Some(t) = self.last_translation {
+            let base = t.vpage.base().raw();
+            if va.raw().wrapping_sub(base) < t.vpage.size().bytes() {
+                return Some(Translation {
+                    pa: PhysAddr::new(t.frame.base().raw() + (va.raw() - base)),
+                    ..t
+                });
+            }
+        }
+        let t = self.space.translate(va)?;
+        self.last_translation = Some(t);
+        Some(t)
     }
 
     /// Runs the configured instruction budget and reports the results.
@@ -332,7 +367,7 @@ impl System {
         for _ in 0..prewarm_refs {
             let r = prewarm.next_ref();
             let va = self.vma.base().offset(r.offset);
-            if let Some(t) = self.space.translate(va) {
+            if let Some(t) = self.translate_cached(va) {
                 self.outer.access(t.pa.raw() / 64, r.is_write);
             }
         }
@@ -342,9 +377,9 @@ impl System {
             .warmup_instructions
             .unwrap_or((self.config.instructions / 3).min(500_000));
         // Warmup: same loop, throwaway core, no energy accounting.
-        let mut warm_cpu: Box<dyn CpuModel> = Box::new(InOrderCpu::atom());
+        let mut warm_cpu = InOrderCpu::atom();
         let mut scratch = Counters::default();
-        self.simulate(warmup, warm_cpu.as_mut(), false, &mut scratch)?;
+        self.simulate(warmup, &mut warm_cpu, false, &mut scratch)?;
 
         // Snapshot counters at the start of the measured window.
         let l1_before = self.l1.as_dyn().cache_stats();
@@ -355,14 +390,21 @@ impl System {
             _ => (SeesawStats::default(), TftStats::default()),
         };
 
-        let mut cpu: Box<dyn CpuModel> = match self.config.cpu {
-            CpuKind::InOrder => Box::new(InOrderCpu::atom()),
-            CpuKind::OutOfOrder => Box::new(OooCpu::sandybridge()),
-        };
+        // Monomorphized per core model: the inner loop calls `retire`
+        // directly instead of through a vtable.
         let mut counters = Counters::default();
-        self.simulate(self.config.instructions, cpu.as_mut(), true, &mut counters)?;
-
-        let totals = cpu.totals();
+        let totals = match self.config.cpu {
+            CpuKind::InOrder => {
+                let mut cpu = InOrderCpu::atom();
+                self.simulate(self.config.instructions, &mut cpu, true, &mut counters)?;
+                cpu.totals()
+            }
+            CpuKind::OutOfOrder => {
+                let mut cpu = OooCpu::sandybridge();
+                self.simulate(self.config.instructions, &mut cpu, true, &mut counters)?;
+                cpu.totals()
+            }
+        };
         let runtime_ns = totals.cycles as f64 / self.config.frequency.ghz();
         let l1_stats = self.l1.as_dyn().cache_stats().delta(&l1_before);
         let (seesaw_stats, tft_stats, wp_acc) = match &mut self.l1 {
@@ -409,10 +451,10 @@ impl System {
     /// `measure` is false (warmup), energy and probe counters are not
     /// charged; hardware state (caches, TLBs, TFT, predictors) warms
     /// either way.
-    fn simulate(
+    fn simulate<C: CpuModel>(
         &mut self,
         instructions: u64,
-        cpu: &mut dyn CpuModel,
+        cpu: &mut C,
         measure: bool,
         counters: &mut Counters,
     ) -> Result<(), SimError> {
@@ -422,15 +464,25 @@ impl System {
         let is_vivt = self.l1.is_vivt();
         let line_bytes = 64u64;
 
-        let mut executed = 0u64;
-        let mut next_sample = if measure {
-            self.config.sample_interval.unwrap_or(u64::MAX)
-        } else {
-            u64::MAX
+        // Loop-invariant schedule periods, and the scheduler-hint
+        // assumption for the stateless policies — `Occupancy` is the only
+        // one that must consult the TLB, and only SEESAW hits on the
+        // out-of-order core ever read the answer, so it is computed
+        // lazily in that branch below.
+        let sample_every = self.config.sample_interval.unwrap_or(u64::MAX);
+        let switch_every = self.config.context_switch_interval.unwrap_or(u64::MAX);
+        let page_op_every = self.config.page_op_interval.unwrap_or(u64::MAX);
+        let static_assumption = match self.config.scheduler_hint {
+            SchedulerHintPolicy::Occupancy => None,
+            SchedulerHintPolicy::AlwaysFast => Some(HitTimeAssumption::Fast),
+            SchedulerHintPolicy::AlwaysSlow => Some(HitTimeAssumption::Slow),
         };
+
+        let mut executed = 0u64;
+        let mut next_sample = if measure { sample_every } else { u64::MAX };
         let mut window = SampleWindow::capture(self, cpu);
-        let mut next_switch = self.config.context_switch_interval.unwrap_or(u64::MAX);
-        let mut next_page_op = self.config.page_op_interval.unwrap_or(u64::MAX);
+        let mut next_switch = switch_every;
+        let mut next_page_op = page_op_every;
         let mut page_op_toggle = false;
 
         while executed < instructions {
@@ -468,17 +520,6 @@ impl System {
             }
             counters.total_refs += 1;
 
-            // Scheduler hit-time assumption (§IV-B3): only meaningful for
-            // SEESAW on the out-of-order core.
-            let assumption = match self.config.scheduler_hint {
-                SchedulerHintPolicy::Occupancy => {
-                    let (valid, cap) = self.tlbs.superpage_l1_occupancy();
-                    self.hint.assumption(valid, cap)
-                }
-                SchedulerHintPolicy::AlwaysFast => HitTimeAssumption::Fast,
-                SchedulerHintPolicy::AlwaysSlow => HitTimeAssumption::Slow,
-            };
-
             let req = L1Request {
                 va,
                 pa,
@@ -490,11 +531,11 @@ impl System {
             // Differential shadow check: the hardware's translation and
             // TFT verdict against the page table's ground truth and the
             // program's reference memory.
-            if let Some(checker) = self.checker.as_mut() {
+            if self.checker.is_some() {
                 let authoritative = self
-                    .space
-                    .translate(va)
+                    .translate_cached(va)
                     .ok_or(SimError::PageFault { va: va.raw() })?;
+                let checker = self.checker.as_mut().expect("checked above");
                 checker.check_access(
                     self.elapsed + executed,
                     &AccessCheck {
@@ -587,6 +628,16 @@ impl System {
                     }
                 }
             } else if is_ooo && is_seesaw {
+                // Scheduler hit-time assumption (§IV-B3): only meaningful
+                // for SEESAW hits on the out-of-order core, so the
+                // occupancy query runs here rather than once per
+                // reference. Nothing between the TLB lookup above and this
+                // point mutates the TLB, so the answer is the one the
+                // per-reference query produced.
+                let assumption = static_assumption.unwrap_or_else(|| {
+                    let (valid, cap) = self.tlbs.superpage_l1_occupancy();
+                    self.hint.assumption(valid, cap)
+                });
                 match assumption {
                     HitTimeAssumption::Fast => {
                         // The TFT answers within a quarter cycle (§IV-A2),
@@ -628,7 +679,7 @@ impl System {
 
             // Telemetry window boundary.
             if executed >= next_sample {
-                next_sample += self.config.sample_interval.unwrap_or(u64::MAX);
+                next_sample += sample_every;
                 let now = SampleWindow::capture(self, cpu);
                 counters.samples.push(window.delta(&now));
                 window = now;
@@ -636,7 +687,7 @@ impl System {
 
             // Context switches flush the (ASID-less) TFT.
             if executed >= next_switch {
-                next_switch += self.config.context_switch_interval.unwrap_or(u64::MAX);
+                next_switch += switch_every;
                 if let Some(seesaw) = self.l1.seesaw() {
                     seesaw.context_switch();
                 }
@@ -646,7 +697,7 @@ impl System {
             // splinter/re-promote alternation at a fixed interval, routed
             // through the same fault-application path as the injector.
             if executed >= next_page_op {
-                next_page_op += self.config.page_op_interval.unwrap_or(u64::MAX);
+                next_page_op += page_op_every;
                 self.apply_page_op(va, page_op_toggle, self.elapsed + executed)?;
                 page_op_toggle = !page_op_toggle;
             }
@@ -696,6 +747,9 @@ impl System {
         promote: bool,
         instruction: u64,
     ) -> Result<(), SimError> {
+        // The page table is about to change shape; the last-translation
+        // micro-cache must not serve a stale mapping.
+        self.last_translation = None;
         let result = if promote {
             self.space.promote(&mut self.pmem, va)
         } else {
@@ -873,6 +927,10 @@ impl System {
 
     /// Applies one injected fault.
     fn apply_fault(&mut self, kind: FaultKind, instruction: u64) -> Result<(), SimError> {
+        // Every fault kind may reshape translations (splinters,
+        // promotions, pressure-driven remaps); drop the micro-cache
+        // wholesale rather than reason per-kind.
+        self.last_translation = None;
         if let Some(checker) = self.checker.as_mut() {
             checker.record_event(instruction, CheckEvent::Injected(kind));
         }
@@ -1053,7 +1111,7 @@ mod tests {
         // With crushing fragmentation, SEESAW degenerates to the baseline
         // (slow path everywhere) but must not be slower than it.
         let cfg = RunConfig::quick("mcf").memhog(90);
-        let base = System::build(&cfg.clone()).unwrap().run().unwrap();
+        let base = System::build(&cfg).unwrap().run().unwrap();
         let seesaw = System::build(&cfg.design(L1DesignKind::Seesaw)).unwrap().run().unwrap();
         let delta = seesaw.runtime_improvement_pct(&base);
         assert!(delta > -1.0, "SEESAW regressed by {delta:.2}%");

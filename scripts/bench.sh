@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Times every figure/table driver binary and emits BENCH_runtime.json:
+# per-figure wall-clock seconds plus the memo-cache hit/miss counts each
+# binary reported. This populates the perf trajectory the runner work
+# targets (ISSUE 2); re-run after engine changes and commit the result.
+#
+#   scripts/bench.sh [instruction-budget] [out-file]
+#
+# Defaults: 250,000 instructions per configuration (the QUICK budget —
+# the full 2M budget has identical parallel/memo structure, only longer),
+# writing BENCH_runtime.json at the repo root. SEESAW_THREADS pins the
+# worker count; it defaults to the machine's available parallelism.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+budget="${1:-250000}"
+out="${2:-BENCH_runtime.json}"
+
+echo "==> cargo build --release -p seesaw-bench"
+cargo build --release -p seesaw-bench
+
+bins="table1 table2 table3 fig2a fig2b fig2c fig3 fig7 fig8 fig9 \
+      fig10 fig11 fig12 fig13 fig14 fig15 ablations scheduler partitions"
+
+threads="${SEESAW_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+{
+  echo "{"
+  echo "  \"budget_instructions\": ${budget},"
+  echo "  \"threads\": ${threads},"
+  echo "  \"figures\": {"
+  first=1
+  for bin in $bins; do
+    start=$(date +%s.%N)
+    ./target/release/"$bin" "$budget" > "$tmp"
+    end=$(date +%s.%N)
+    secs=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+    # Scrape the [memo] line the sweep binaries print (pure-math tables
+    # print none; report zeros for those).
+    memo=$(grep '^\[memo\]' "$tmp" || true)
+    hits=0; misses=0
+    if [ -n "$memo" ]; then
+      hits=$(echo "$memo" | awk '{print $2}')
+      misses=$(echo "$memo" | awk '{print $5}')
+    fi
+    [ "$first" = 1 ] || echo ","
+    first=0
+    printf '    "%s": { "wall_seconds": %s, "memo_hits": %s, "memo_misses": %s }' \
+      "$bin" "$secs" "$hits" "$misses"
+  done
+  echo ""
+  echo "  }"
+  echo "}"
+} > "$out"
+
+echo "wrote $out"

@@ -17,4 +17,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> fault-injected checker run (fixed seed, all fault kinds)"
 cargo test --release -q --test checker
 
+echo "==> multi-threaded smoke (4 workers): fig15 driver + checker-enabled plan"
+SEESAW_THREADS=4 ./target/release/fig15 60000
+SEESAW_THREADS=4 cargo test --release -q --test runner
+
 echo "OK: all checks passed."
