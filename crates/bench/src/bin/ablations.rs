@@ -1,7 +1,7 @@
 //! Prose-reported ablations: insertion policy, TFT flushing, snoopy
 //! coherence, and the area-equivalent-baseline control.
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{
     ablation_table, area_control, asid_flush_ablation, insertion_ablation, prefetch_ablation,
     snoopy_ablation,
@@ -19,5 +19,5 @@ fn main() {
     println!("{}", ablation_table(&ok_or_exit(area_control(n)), "area-eq baseline", "SEESAW"));
     println!("\nPrefetcher robustness: SEESAW runtime gain without / with an L2 streamer\n");
     println!("{}", ablation_table(&ok_or_exit(prefetch_ablation(n)), "no prefetch", "prefetch x4"));
-    print_memo_stats();
+    finish("ablations");
 }

@@ -1,6 +1,6 @@
 //! Fig. 10: memory-hierarchy energy savings.
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig10, fig10_table};
 
 fn main() {
@@ -8,5 +8,5 @@ fn main() {
     println!("Fig. 10 — %% memory-hierarchy energy saved ({n} instructions)\n");
     println!("{}", fig10_table(&ok_or_exit(fig10(n))));
     println!("Paper shape: 10-20% savings; in-order slightly above out-of-order.");
-    print_memo_stats();
+    finish("fig10");
 }

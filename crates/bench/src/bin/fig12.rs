@@ -1,6 +1,6 @@
 //! Fig. 12: benefits under memory fragmentation (memhog 0/30/60%).
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig12, fig12_table};
 
 fn main() {
@@ -8,5 +8,5 @@ fn main() {
     println!("Fig. 12 — perf & energy vs fragmentation, 64KB @ 1.33GHz ({n} instructions)\n");
     println!("{}", fig12_table(&ok_or_exit(fig12(n))));
     println!("Paper shape: benefits shrink with fragmentation but stay ~4-6% at memhog(60%).");
-    print_memo_stats();
+    finish("fig12");
 }

@@ -1,6 +1,6 @@
 //! Fig. 13: TFT miss analysis (12/16/20-entry TFTs).
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig13, fig13_table};
 
 fn main() {
@@ -8,5 +8,5 @@ fn main() {
     println!("Fig. 13 — %% of superpage accesses missed by the TFT ({n} instructions)\n");
     println!("{}", fig13_table(&ok_or_exit(fig13(n))));
     println!("Paper shape: 16 entries keep misses <10% worst-case; most TFT misses are L1 misses.");
-    print_memo_stats();
+    finish("fig13");
 }

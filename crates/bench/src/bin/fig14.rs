@@ -1,6 +1,6 @@
 //! Fig. 14: SEESAW versus PIPT/smaller-TLB alternatives at 128KB.
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig14, fig14_table};
 
 fn main() {
@@ -8,5 +8,5 @@ fn main() {
     println!("Fig. 14 — SEESAW vs alternative designs, 128KB ({n} instructions)\n");
     println!("{}", fig14_table(&ok_or_exit(fig14(n))));
     println!("Paper shape: SEESAW beats every alternative on both perf and energy.");
-    print_memo_stats();
+    finish("fig14");
 }

@@ -1,6 +1,6 @@
 //! Fig. 15: way prediction vs SEESAW vs the combination.
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig15, fig15_table};
 
 fn main() {
@@ -9,5 +9,5 @@ fn main() {
     println!("{}", fig15_table(&ok_or_exit(fig15(n))));
     println!("Paper shape: WP alone can degrade perf on poor-locality workloads;");
     println!("SEESAW never degrades; WP+SEESAW saves the most energy.");
-    print_memo_stats();
+    finish("fig15");
 }

@@ -1,6 +1,6 @@
 //! Fig. 7: per-workload runtime improvement (OoO, 1.33GHz, 32-128KB).
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig7, fig7_table};
 use seesaw_sim::BarChart;
 
@@ -15,5 +15,5 @@ fn main() {
     }
     println!("{chart}");
     println!("Paper shape: every workload improves; larger caches improve more (5-11% avg).");
-    print_memo_stats();
+    finish("fig7");
 }

@@ -1,6 +1,6 @@
 //! Fig. 8: out-of-order runtime improvement across frequencies.
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig8, freq_sweep_table};
 
 fn main() {
@@ -8,5 +8,5 @@ fn main() {
     println!("Fig. 8 — OoO runtime improvement, avg/min/max over workloads ({n} instructions)\n");
     println!("{}", freq_sweep_table(&ok_or_exit(fig8(n))));
     println!("Paper shape: benefits grow with frequency and cache size.");
-    print_memo_stats();
+    finish("fig8");
 }

@@ -1,6 +1,6 @@
 //! Fig. 9: in-order runtime improvement across frequencies.
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{fig9, freq_sweep_table};
 
 fn main() {
@@ -8,5 +8,5 @@ fn main() {
     println!("Fig. 9 — in-order runtime improvement, avg/min/max ({n} instructions)\n");
     println!("{}", freq_sweep_table(&ok_or_exit(fig9(n))));
     println!("Paper shape: 3-5% higher than the out-of-order gains of Fig. 8.");
-    print_memo_stats();
+    finish("fig9");
 }

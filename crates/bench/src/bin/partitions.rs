@@ -1,6 +1,6 @@
 //! §IV-B4 ablation: ways-per-partition sweep.
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{partition_ablation, partition_table};
 
 fn main() {
@@ -9,5 +9,5 @@ fn main() {
     println!("{}", partition_table(&ok_or_exit(partition_ablation(n))));
     println!("The paper's 4-way partitions balance lookup width against");
     println!("partition-local insertion pressure.");
-    print_memo_stats();
+    finish("partitions");
 }

@@ -1,7 +1,7 @@
 //! §IV-B3 ablation: hit-time assumption policy × squash cost ×
 //! fragmentation.
 
-use seesaw_bench::{print_memo_stats, instruction_budget, ok_or_exit, FULL};
+use seesaw_bench::{finish, instruction_budget, ok_or_exit, FULL};
 use seesaw_sim::experiments::{scheduler_ablation, scheduler_table};
 
 fn main() {
@@ -15,5 +15,5 @@ fn main() {
     println!("threshold is coarse: at memhog(60) coverage (~40%) the 2MB TLB stays");
     println!("populated, so the counter still reads Fast; it only flips when");
     println!("superpages are truly scarce, exactly as §IV-B3 describes.");
-    print_memo_stats();
+    finish("scheduler");
 }

@@ -1,0 +1,80 @@
+//! Traced smoke run for `scripts/check.sh`.
+//!
+//! Two modes, designed to be piped into each other:
+//!
+//! * `trace_smoke emit` — runs a tiny fault-injected, checker-enabled
+//!   SEESAW simulation with event tracing on, verifies that the captured
+//!   event counts reconcile exactly with the run's metrics snapshot, and
+//!   prints the JSONL event stream to stdout (progress goes to stderr).
+//! * `trace_smoke validate` — reads a JSONL event stream from stdin,
+//!   validates every line (object shape, numeric `at`, known event
+//!   type), and prints a per-type tally.
+//!
+//! `trace_smoke emit | trace_smoke validate` therefore proves the whole
+//! telemetry path end to end: emission in the hot loop, ring capture,
+//! metrics reconciliation, JSONL export, and independent re-parse.
+
+use std::io::Read;
+
+use seesaw_bench::{ok_or_exit, reconcile};
+use seesaw_sim::{FaultConfig, L1DesignKind, RunConfig, System};
+
+fn emit() {
+    let cfg = RunConfig::quick("redis")
+        .design(L1DesignKind::Seesaw)
+        .with_checker()
+        .with_faults(FaultConfig::all(0x7ace))
+        .with_trace();
+    let result = ok_or_exit(System::build(&cfg).and_then(System::run));
+    let trace = result.trace.as_ref().expect("traced run returns a trace");
+    if let Err(msg) = reconcile(trace, &result.metrics) {
+        eprintln!("error: event trace diverges from metrics: {msg}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[trace_smoke] {} events captured ({} dropped), {} metric keys, faults: {}",
+        trace.events.len(),
+        trace.dropped,
+        result.metrics.len(),
+        result
+            .metrics
+            .get_u64("faults.total")
+            .unwrap_or_default()
+    );
+    print!("{}", trace.to_jsonl());
+}
+
+fn validate() {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("error: reading stdin: {e}");
+        std::process::exit(1);
+    }
+    match seesaw_trace::jsonl::validate_jsonl(&text) {
+        Ok(report) => {
+            if report.lines == 0 {
+                eprintln!("error: empty event stream");
+                std::process::exit(1);
+            }
+            println!("[trace_smoke] {} valid JSONL events", report.lines);
+            for (name, count) in &report.counts {
+                println!("  {name}: {count}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: invalid JSONL event stream: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("emit") => emit(),
+        Some("validate") => validate(),
+        _ => {
+            eprintln!("usage: trace_smoke <emit|validate>");
+            std::process::exit(2);
+        }
+    }
+}

@@ -39,6 +39,105 @@ pub fn print_memo_stats() {
     );
 }
 
+/// Standard sweep-binary epilogue: prints the memo counters, and — when
+/// the `SEESAW_TRACE` environment variable is set — writes the process's
+/// telemetry artifacts under that directory (empty value: `target/trace`):
+///
+/// * `{name}.chrome.json` — the plan journal as a Chrome `trace_event`
+///   document (worker threads as tracks, cells as spans, memo hits as
+///   instant events), loadable in Perfetto.
+/// * `{name}.events.jsonl` — the typed event stream of one traced
+///   representative SEESAW run, after verifying that its per-line event
+///   counts reconcile exactly with the run's [`MetricsRegistry`]
+///   snapshot (exits 1 on divergence: the trace would be lying).
+///
+/// [`MetricsRegistry`]: seesaw_trace::MetricsRegistry
+pub fn finish(name: &str) {
+    print_memo_stats();
+    let Ok(dir) = std::env::var("SEESAW_TRACE") else {
+        return;
+    };
+    let dir = if dir.is_empty() {
+        std::path::PathBuf::from("target/trace")
+    } else {
+        std::path::PathBuf::from(dir)
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: cannot create trace dir {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+
+    let chrome = seesaw_sim::runner::session_chrome_trace(name);
+    let chrome_path = dir.join(format!("{name}.chrome.json"));
+    if let Err(e) = std::fs::write(&chrome_path, &chrome) {
+        eprintln!("error: writing {}: {e}", chrome_path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "[trace] wrote {} ({} plan cells)",
+        chrome_path.display(),
+        seesaw_sim::runner::session_journal().len()
+    );
+
+    // One traced representative cell, so every sweep binary also leaves
+    // behind a JSONL event stream that provably matches its metrics.
+    let cfg = seesaw_sim::RunConfig::quick("redis")
+        .design(seesaw_sim::L1DesignKind::Seesaw)
+        .with_trace();
+    let result = ok_or_exit(seesaw_sim::System::build(&cfg).and_then(seesaw_sim::System::run));
+    let trace = result.trace.as_ref().expect("traced run returns a trace");
+    match reconcile(trace, &result.metrics) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("error: event trace diverges from metrics: {msg}");
+            std::process::exit(1);
+        }
+    }
+    let jsonl = trace.to_jsonl();
+    if let Err(e) = seesaw_trace::jsonl::validate_jsonl(&jsonl) {
+        eprintln!("error: emitted JSONL failed validation: {e}");
+        std::process::exit(1);
+    }
+    let jsonl_path = dir.join(format!("{name}.events.jsonl"));
+    if let Err(e) = std::fs::write(&jsonl_path, &jsonl) {
+        eprintln!("error: writing {}: {e}", jsonl_path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "[trace] wrote {} ({} events, {} dropped from ring)",
+        jsonl_path.display(),
+        trace.events.len(),
+        trace.dropped
+    );
+}
+
+/// Checks that a run's captured [`seesaw_trace::EventCounts`] agree with
+/// the `trace.events.*` keys of its metrics snapshot (they are collected
+/// from the same counters, so any divergence means an exporter bug).
+pub fn reconcile(
+    trace: &seesaw_trace::TraceData,
+    metrics: &seesaw_trace::MetricsRegistry,
+) -> Result<(), String> {
+    use seesaw_trace::Collect;
+    let mut expected = seesaw_trace::MetricsRegistry::new();
+    trace.counts.collect("trace.events", &mut expected);
+    for (key, want) in expected.iter() {
+        let got = metrics.get(key);
+        if got != Some(want) {
+            return Err(format!("{key}: trace says {want}, metrics say {got:?}"));
+        }
+    }
+    if trace.counts.total() != trace.emitted() {
+        return Err(format!(
+            "ring accounting: counts total {} != events {} + dropped {}",
+            trace.counts.total(),
+            trace.events.len(),
+            trace.dropped
+        ));
+    }
+    Ok(())
+}
+
 /// The standard full-experiment budget.
 pub const FULL: u64 = 2_000_000;
 

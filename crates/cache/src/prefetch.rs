@@ -10,6 +10,8 @@
 
 use std::collections::HashMap;
 
+use seesaw_trace::{Collect, MetricsRegistry};
+
 /// Per-region stream state.
 #[derive(Debug, Clone, Copy)]
 struct Stream {
@@ -25,6 +27,14 @@ pub struct PrefetchStats {
     pub issued: u64,
     /// Demand accesses that hit a prefetched line before eviction.
     pub useful: u64,
+}
+
+impl Collect for PrefetchStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let PrefetchStats { issued, useful } = *self;
+        out.set_u64(&format!("{prefix}.issued"), issued);
+        out.set_u64(&format!("{prefix}.useful"), useful);
+    }
 }
 
 /// The stream prefetcher.

@@ -1,5 +1,7 @@
 //! Cache access counters.
 
+use seesaw_trace::{Collect, MetricsRegistry};
+
 /// Hit/miss/energy-relevant counters for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -73,6 +75,39 @@ impl CacheStats {
         } else {
             self.ways_probed as f64 / self.accesses() as f64
         }
+    }
+}
+
+impl Collect for CacheStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let CacheStats {
+            hits,
+            misses,
+            fills,
+            evictions,
+            writebacks,
+            ways_probed,
+            coherence_probes,
+            coherence_ways_probed,
+            coherence_invalidations,
+        } = *self;
+        out.set_u64(&format!("{prefix}.hits"), hits);
+        out.set_u64(&format!("{prefix}.misses"), misses);
+        out.set_u64(&format!("{prefix}.fills"), fills);
+        out.set_u64(&format!("{prefix}.evictions"), evictions);
+        out.set_u64(&format!("{prefix}.writebacks"), writebacks);
+        out.set_u64(&format!("{prefix}.ways_probed"), ways_probed);
+        out.set_u64(&format!("{prefix}.coherence_probes"), coherence_probes);
+        out.set_u64(
+            &format!("{prefix}.coherence_ways_probed"),
+            coherence_ways_probed,
+        );
+        out.set_u64(
+            &format!("{prefix}.coherence_invalidations"),
+            coherence_invalidations,
+        );
+        out.set_f64(&format!("{prefix}.miss_rate"), self.miss_rate());
+        out.set_f64(&format!("{prefix}.avg_ways_probed"), self.avg_ways_probed());
     }
 }
 

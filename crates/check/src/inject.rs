@@ -41,6 +41,19 @@ impl FaultKind {
         FaultKind::MemPressure,
         FaultKind::MemRelease,
     ];
+
+    /// Stable kebab-case name, used by trace events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Splinter => "splinter",
+            FaultKind::Promote => "promote",
+            FaultKind::TlbShootdown => "tlb-shootdown",
+            FaultKind::TftStorm => "tft-storm",
+            FaultKind::ContextSwitch => "context-switch",
+            FaultKind::MemPressure => "mem-pressure",
+            FaultKind::MemRelease => "mem-release",
+        }
+    }
 }
 
 /// Deliberate bug switches: each knob disables one invalidation step so
@@ -180,6 +193,28 @@ impl InjectionStats {
             FaultKind::MemPressure => self.mem_pressure += 1,
             FaultKind::MemRelease => self.mem_releases += 1,
         }
+    }
+}
+
+impl seesaw_trace::Collect for InjectionStats {
+    fn collect(&self, prefix: &str, out: &mut seesaw_trace::MetricsRegistry) {
+        let InjectionStats {
+            splinters,
+            promotions,
+            shootdowns,
+            tft_storms,
+            context_switches,
+            mem_pressure,
+            mem_releases,
+        } = *self;
+        out.set_u64(&format!("{prefix}.splinters"), splinters);
+        out.set_u64(&format!("{prefix}.promotions"), promotions);
+        out.set_u64(&format!("{prefix}.shootdowns"), shootdowns);
+        out.set_u64(&format!("{prefix}.tft_storms"), tft_storms);
+        out.set_u64(&format!("{prefix}.context_switches"), context_switches);
+        out.set_u64(&format!("{prefix}.mem_pressure"), mem_pressure);
+        out.set_u64(&format!("{prefix}.mem_releases"), mem_releases);
+        out.set_u64(&format!("{prefix}.total"), self.total());
     }
 }
 

@@ -46,7 +46,8 @@ pub enum ViolationKind {
 }
 
 impl ViolationKind {
-    fn name(self) -> &'static str {
+    /// Stable kebab-case name, used by trace events and reports.
+    pub fn name(self) -> &'static str {
         match self {
             ViolationKind::StaleTranslation => "stale-translation",
             ViolationKind::TftClaimsBasePage => "tft-claims-base-page",
@@ -100,6 +101,37 @@ impl ViolationCounters {
             ViolationKind::PartitionUnreachable => self.partition_unreachable += 1,
             ViolationKind::StalePhysicalMapping => self.stale_physical_mapping += 1,
         }
+    }
+}
+
+impl seesaw_trace::Collect for ViolationCounters {
+    fn collect(&self, prefix: &str, out: &mut seesaw_trace::MetricsRegistry) {
+        let ViolationCounters {
+            stale_translation,
+            tft_claims_base_page,
+            data_divergence,
+            use_after_free,
+            swept_line_resident,
+            partition_unreachable,
+            stale_physical_mapping,
+        } = *self;
+        out.set_u64(&format!("{prefix}.stale_translation"), stale_translation);
+        out.set_u64(
+            &format!("{prefix}.tft_claims_base_page"),
+            tft_claims_base_page,
+        );
+        out.set_u64(&format!("{prefix}.data_divergence"), data_divergence);
+        out.set_u64(&format!("{prefix}.use_after_free"), use_after_free);
+        out.set_u64(&format!("{prefix}.swept_line_resident"), swept_line_resident);
+        out.set_u64(
+            &format!("{prefix}.partition_unreachable"),
+            partition_unreachable,
+        );
+        out.set_u64(
+            &format!("{prefix}.stale_physical_mapping"),
+            stale_physical_mapping,
+        );
+        out.set_u64(&format!("{prefix}.total"), self.total());
     }
 }
 
@@ -206,6 +238,21 @@ pub struct CheckerSummary {
     pub audits: u64,
     /// Per-invariant violation counts (all zero on a clean run).
     pub violations: ViolationCounters,
+}
+
+impl seesaw_trace::Collect for CheckerSummary {
+    fn collect(&self, prefix: &str, out: &mut seesaw_trace::MetricsRegistry) {
+        let CheckerSummary {
+            loads_checked,
+            stores_tracked,
+            audits,
+            violations,
+        } = *self;
+        out.set_u64(&format!("{prefix}.loads_checked"), loads_checked);
+        out.set_u64(&format!("{prefix}.stores_tracked"), stores_tracked);
+        out.set_u64(&format!("{prefix}.audits"), audits);
+        violations.collect(&format!("{prefix}.violations"), out);
+    }
 }
 
 /// The differential shadow model (see the module docs).

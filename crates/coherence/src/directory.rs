@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use seesaw_cache::{CacheConfig, MoesiState, SetAssocCache, WayMask};
+use seesaw_trace::{Collect, MetricsRegistry};
 
 use crate::protocol;
 
@@ -34,6 +35,23 @@ pub struct CoherenceStats {
     pub invalidations: u64,
     /// Dirty lines written back due to remote writes.
     pub writebacks: u64,
+}
+
+impl Collect for CoherenceStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let CoherenceStats {
+            transactions,
+            probes_delivered,
+            probe_ways,
+            invalidations,
+            writebacks,
+        } = *self;
+        out.set_u64(&format!("{prefix}.transactions"), transactions);
+        out.set_u64(&format!("{prefix}.probes_delivered"), probes_delivered);
+        out.set_u64(&format!("{prefix}.probe_ways"), probe_ways);
+        out.set_u64(&format!("{prefix}.invalidations"), invalidations);
+        out.set_u64(&format!("{prefix}.writebacks"), writebacks);
+    }
 }
 
 #[derive(Debug, Clone, Default)]

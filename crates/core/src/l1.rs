@@ -5,6 +5,7 @@ use seesaw_cache::{
     SetAssocCache, WayMask,
 };
 use seesaw_mem::{PageSize, PageTableOp, PhysAddr, VirtAddr};
+use seesaw_trace::{Collect, MetricsRegistry};
 
 use crate::{
     InsertionPolicy, L1AccessOutcome, L1DataCache, L1Request, L1Timing, LookupCase,
@@ -138,6 +139,40 @@ impl SeesawStats {
         } else {
             self.super_tft_miss as f64 / supers as f64
         }
+    }
+}
+
+impl Collect for SeesawStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let SeesawStats {
+            super_tft_hit_cache_hit,
+            super_tft_hit_cache_miss,
+            super_tft_miss,
+            base_page,
+            super_tft_miss_l1_miss,
+            sweeps,
+            swept_lines,
+        } = *self;
+        out.set_u64(
+            &format!("{prefix}.super_tft_hit_cache_hit"),
+            super_tft_hit_cache_hit,
+        );
+        out.set_u64(
+            &format!("{prefix}.super_tft_hit_cache_miss"),
+            super_tft_hit_cache_miss,
+        );
+        out.set_u64(&format!("{prefix}.super_tft_miss"), super_tft_miss);
+        out.set_u64(&format!("{prefix}.base_page"), base_page);
+        out.set_u64(
+            &format!("{prefix}.super_tft_miss_l1_miss"),
+            super_tft_miss_l1_miss,
+        );
+        out.set_u64(&format!("{prefix}.sweeps"), sweeps);
+        out.set_u64(&format!("{prefix}.swept_lines"), swept_lines);
+        out.set_f64(
+            &format!("{prefix}.tft_miss_fraction_of_super"),
+            self.tft_miss_fraction_of_super(),
+        );
     }
 }
 

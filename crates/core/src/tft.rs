@@ -8,6 +8,7 @@
 //! size of an 8-entry L1 TLB".
 
 use seesaw_mem::{PageSize, VirtAddr, VirtPage};
+use seesaw_trace::{Collect, MetricsRegistry};
 
 /// TFT access counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,6 +46,24 @@ impl TftStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+impl Collect for TftStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let TftStats {
+            hits,
+            misses,
+            fills,
+            invalidations,
+            flushes,
+        } = *self;
+        out.set_u64(&format!("{prefix}.hits"), hits);
+        out.set_u64(&format!("{prefix}.misses"), misses);
+        out.set_u64(&format!("{prefix}.fills"), fills);
+        out.set_u64(&format!("{prefix}.invalidations"), invalidations);
+        out.set_u64(&format!("{prefix}.flushes"), flushes);
+        out.set_f64(&format!("{prefix}.hit_rate"), self.hit_rate());
     }
 }
 

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 
 use seesaw_cache::{CacheConfig, CacheStats, IndexPolicy, SetAssocCache, WayMask};
 use seesaw_mem::{PageTableOp, PhysAddr};
+use seesaw_trace::{Collect, MetricsRegistry};
 
 use crate::{L1AccessOutcome, L1DataCache, L1Request, L1Timing, LookupCase};
 
@@ -32,6 +33,21 @@ pub struct SynonymStats {
     pub mapping_sweeps: u64,
     /// Lines evicted by those sweeps.
     pub swept_lines: u64,
+}
+
+impl Collect for SynonymStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let SynonymStats {
+            synonym_remaps,
+            reverse_lookups,
+            mapping_sweeps,
+            swept_lines,
+        } = *self;
+        out.set_u64(&format!("{prefix}.synonym_remaps"), synonym_remaps);
+        out.set_u64(&format!("{prefix}.reverse_lookups"), reverse_lookups);
+        out.set_u64(&format!("{prefix}.mapping_sweeps"), mapping_sweeps);
+        out.set_u64(&format!("{prefix}.swept_lines"), swept_lines);
+    }
 }
 
 /// The VIVT L1.

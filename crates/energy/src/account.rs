@@ -2,6 +2,8 @@
 //! the paper reports (CPU-side vs coherence, Fig. 11; whole hierarchy,
 //! Fig. 10).
 
+use seesaw_trace::{Collect, MetricsRegistry};
+
 use crate::EnergyModel;
 
 /// Accumulated energy, in nJ, split by source.
@@ -49,6 +51,30 @@ impl EnergyBreakdown {
         }
         let coh = (coh_saving / total_saving).clamp(0.0, 1.0);
         (1.0 - coh, coh)
+    }
+}
+
+impl Collect for EnergyBreakdown {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let EnergyBreakdown {
+            l1_cpu_nj,
+            l1_coherence_nj,
+            l1_fill_nj,
+            translation_nj,
+            tft_nj,
+            outer_cache_nj,
+            dram_nj,
+            leakage_nj,
+        } = *self;
+        out.set_f64(&format!("{prefix}.l1_cpu_nj"), l1_cpu_nj);
+        out.set_f64(&format!("{prefix}.l1_coherence_nj"), l1_coherence_nj);
+        out.set_f64(&format!("{prefix}.l1_fill_nj"), l1_fill_nj);
+        out.set_f64(&format!("{prefix}.translation_nj"), translation_nj);
+        out.set_f64(&format!("{prefix}.tft_nj"), tft_nj);
+        out.set_f64(&format!("{prefix}.outer_cache_nj"), outer_cache_nj);
+        out.set_f64(&format!("{prefix}.dram_nj"), dram_nj);
+        out.set_f64(&format!("{prefix}.leakage_nj"), leakage_nj);
+        out.set_f64(&format!("{prefix}.total_nj"), self.total_nj());
     }
 }
 

@@ -8,6 +8,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use seesaw_trace::{Collect, MetricsRegistry};
+
 use crate::MemError;
 
 /// Largest supported order: an order-18 block is 2^18 base pages = 1 GB,
@@ -69,6 +71,27 @@ impl BuddyStats {
             .map(|(k, &count)| count << k)
             .sum();
         frames_in_big_blocks as f64 / self.free_frames as f64
+    }
+}
+
+impl Collect for BuddyStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let BuddyStats {
+            total_frames,
+            free_frames,
+            free_blocks_per_order,
+            largest_free_order,
+        } = self;
+        out.set_u64(&format!("{prefix}.total_frames"), *total_frames);
+        out.set_u64(&format!("{prefix}.free_frames"), *free_frames);
+        for (order, &count) in free_blocks_per_order.iter().enumerate() {
+            out.set_u64(&format!("{prefix}.free_blocks.order{order}"), count);
+        }
+        out.set_u64(
+            &format!("{prefix}.largest_free_order"),
+            largest_free_order.map_or(0, u64::from),
+        );
+        out.set_f64(&format!("{prefix}.contiguity_order9"), self.contiguity_at(9));
     }
 }
 

@@ -5,6 +5,8 @@
 //! whenever the buddy allocator can produce an order-9 block, with direct
 //! compaction attempted on failure, and 4 KB fallback otherwise.
 
+use seesaw_trace::{Collect, MetricsRegistry};
+
 use crate::{CompactionOutcome, Compactor, FrameState, MemError, PageSize, PhysicalMemory};
 
 /// THP policy for a mapping, mirroring Linux's per-VMA settings.
@@ -45,6 +47,30 @@ impl ThpStats {
             return 0.0;
         }
         super_bytes as f64 / (super_bytes + base_bytes) as f64
+    }
+}
+
+impl Collect for ThpStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let ThpStats {
+            super_direct,
+            super_after_compaction,
+            base_fallback,
+            compaction_runs,
+            demoted_slices,
+        } = *self;
+        out.set_u64(&format!("{prefix}.super_direct"), super_direct);
+        out.set_u64(
+            &format!("{prefix}.super_after_compaction"),
+            super_after_compaction,
+        );
+        out.set_u64(&format!("{prefix}.base_fallback"), base_fallback);
+        out.set_u64(&format!("{prefix}.compaction_runs"), compaction_runs);
+        out.set_u64(&format!("{prefix}.demoted_slices"), demoted_slices);
+        out.set_f64(
+            &format!("{prefix}.superpage_fraction"),
+            self.superpage_fraction(),
+        );
     }
 }
 

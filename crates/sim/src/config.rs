@@ -150,6 +150,10 @@ pub struct RunConfig {
     /// shootdowns, TFT storms, context switches, and memory pressure at
     /// randomized points; `None` disables injection.
     pub faults: Option<FaultConfig>,
+    /// Capture a typed event trace of the measured window into
+    /// [`crate::RunResult::trace`] (off by default: with this false the
+    /// hot loop monomorphizes with the null sink and emits nothing).
+    pub trace: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -191,6 +195,7 @@ impl RunConfig {
             sample_interval: None,
             checker: false,
             faults: None,
+            trace: false,
             seed: 0x5eea,
         }
     }
@@ -248,6 +253,12 @@ impl RunConfig {
     /// Builder: attach a fault injector.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Builder: capture a typed event trace of the measured window.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 

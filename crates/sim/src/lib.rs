@@ -53,6 +53,7 @@ pub use config::{CpuKind, Frequency, L1DesignKind, RunConfig, SchedulerHintPolic
 pub use chart::BarChart;
 pub use error::SimError;
 pub use report::Table;
-pub use runner::{MemoStats, Plan};
+pub use runner::{CellRecord, MemoStats, Plan, PlanRun};
+pub use seesaw_check::{CheckerSummary, FaultConfig, InjectionStats, Violation};
 pub use stats::{RunResult, Sample, Summary};
 pub use system::System;

@@ -42,6 +42,9 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use seesaw_trace::{ChromeTrace, Collect, MetricsRegistry};
 
 use crate::{RunConfig, RunResult, SimError, System};
 
@@ -74,6 +77,82 @@ pub struct MemoStats {
     pub misses: u64,
     /// Distinct configurations currently cached.
     pub entries: usize,
+}
+
+/// The process-wide wall-clock origin every plan journal is stamped
+/// against, so spans from successive plans in one binary land on one
+/// consistent Chrome-trace timeline.
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+fn process_origin() -> Instant {
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Every cell journaled by every [`Plan::run`] in this process, in
+/// completion order of the plans.
+static SESSION: OnceLock<Mutex<Vec<CellRecord>>> = OnceLock::new();
+
+fn session() -> &'static Mutex<Vec<CellRecord>> {
+    SESSION.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A copy of the process-wide plan journal: one [`CellRecord`] per cell
+/// of every plan run so far, stamped against one shared origin.
+pub fn session_journal() -> Vec<CellRecord> {
+    session().lock().expect("session lock").clone()
+}
+
+/// Renders the process-wide plan journal as a Chrome `trace_event`
+/// document (see [`PlanRun::chrome_trace`] for the per-plan variant).
+pub fn session_chrome_trace(name: &str) -> String {
+    chrome_trace_of(name, &session_journal())
+}
+
+/// Shared Chrome-trace renderer: one track per worker, complete spans
+/// for fresh simulations, instant events for memo hits.
+fn chrome_trace_of(plan_name: &str, journal: &[CellRecord]) -> String {
+    let mut t = ChromeTrace::new();
+    t.process_name(1, plan_name);
+    t.thread_name(1, 0, "memo cache");
+    let mut workers: Vec<usize> = journal
+        .iter()
+        .filter(|c| !c.memo_hit)
+        .map(|c| c.worker)
+        .collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for &w in &workers {
+        t.thread_name(1, w as u64 + 1, &format!("worker {w}"));
+    }
+    for cell in journal {
+        if cell.memo_hit {
+            t.instant(&cell.label, "memo", 1, 0, cell.start_us, &[("memo", "hit")]);
+        } else {
+            t.complete(
+                &cell.label,
+                "cell",
+                1,
+                cell.worker as u64 + 1,
+                cell.start_us,
+                cell.dur_us,
+                &[("memo", "miss")],
+            );
+        }
+    }
+    t.render()
+}
+
+impl Collect for MemoStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let MemoStats {
+            hits,
+            misses,
+            entries,
+        } = *self;
+        out.set_u64(&format!("{prefix}.hits"), hits);
+        out.set_u64(&format!("{prefix}.misses"), misses);
+        out.set_u64(&format!("{prefix}.entries"), entries as u64);
+    }
 }
 
 /// Returns the memo-cache counters accumulated so far in this process.
@@ -198,14 +277,16 @@ impl Plan {
 
     /// Executes every cell — distinct configurations in parallel, each
     /// simulated at most once per process — and returns the results in
-    /// plan order.
+    /// plan order, along with this plan's memo-cache deltas and a
+    /// wall-clock journal of which worker simulated which cell when.
     ///
     /// # Errors
     /// Returns the error of the earliest cell (in plan order) whose
     /// simulation failed — the same error a serial front-to-back
     /// execution of the plan would have surfaced first.
-    pub fn run(self) -> Result<Vec<RunResult>, SimError> {
+    pub fn run(self) -> Result<PlanRun, SimError> {
         let threads = self.threads.unwrap_or_else(worker_threads);
+        let origin = process_origin();
         let keys: Vec<String> = self.cells.iter().map(|(_, c)| fingerprint(c)).collect();
 
         // Distinct configurations not already memoized become jobs.
@@ -220,14 +301,64 @@ impl Plan {
             }
         }
 
-        let outcomes = parallel_map_with(threads, &jobs, |(_, cfg)| System::build(cfg)?.run());
+        // Like `parallel_map_with`, but each worker stamps its outputs
+        // with its own index and the job's wall-clock span, so the plan
+        // journal can reconstruct the schedule for the Chrome trace.
+        type JobOutcome = (Result<RunResult, SimError>, usize, u64, u64);
+        let workers = threads.clamp(1, jobs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobOutcome>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let next = &next;
+                let slots = &slots;
+                let jobs = &jobs;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let start_us = origin.elapsed().as_micros() as u64;
+                    let outcome = System::build(&jobs[i].1).and_then(System::run);
+                    let dur_us =
+                        (origin.elapsed().as_micros() as u64).saturating_sub(start_us).max(1);
+                    *slots[i].lock().expect("slot lock") =
+                        Some((outcome, w, start_us, dur_us));
+                });
+            }
+        });
+        let outcomes: Vec<JobOutcome> = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("slot lock")
+                    .expect("every slot filled by a worker")
+            })
+            .collect();
+
+        let memo_delta = MemoStats {
+            hits: (keys.len() - jobs.len()) as u64,
+            misses: jobs.len() as u64,
+            entries: {
+                let mut distinct: HashSet<&str> = HashSet::new();
+                keys.iter().for_each(|k| {
+                    distinct.insert(k);
+                });
+                distinct.len()
+            },
+        };
 
         let mut errors: HashMap<String, SimError> = HashMap::new();
+        let mut spans: HashMap<String, (usize, u64, u64)> = HashMap::new();
         {
             let mut m = memo().lock().expect("memo lock");
             m.misses += jobs.len() as u64;
             m.hits += (keys.len() - jobs.len()) as u64;
-            for ((key, _), outcome) in jobs.into_iter().zip(outcomes) {
+            for ((key, _), (outcome, worker, start_us, dur_us)) in
+                jobs.into_iter().zip(outcomes)
+            {
+                spans.insert(key.clone(), (worker, start_us, dur_us));
                 match outcome {
                     Ok(result) => {
                         m.results.insert(key, result);
@@ -247,11 +378,141 @@ impl Plan {
             }
         }
 
+        // Per-cell journal in plan order: cells whose config was freshly
+        // simulated carry that job's span; the rest are memo hits served
+        // at assembly time.
+        let journal: Vec<CellRecord> = {
+            let mut seen: HashSet<&str> = HashSet::new();
+            self.cells
+                .iter()
+                .zip(&keys)
+                .map(|((label, _), key)| match spans.get(key.as_str()) {
+                    Some(&(worker, start_us, dur_us)) if seen.insert(key) => CellRecord {
+                        label: label.clone(),
+                        worker,
+                        start_us,
+                        dur_us,
+                        memo_hit: false,
+                    },
+                    _ => CellRecord {
+                        label: label.clone(),
+                        worker: 0,
+                        start_us: origin.elapsed().as_micros() as u64,
+                        dur_us: 0,
+                        memo_hit: true,
+                    },
+                })
+                .collect()
+        };
+
+        session()
+            .lock()
+            .expect("session lock")
+            .extend(journal.iter().cloned());
+
         let m = memo().lock().expect("memo lock");
-        Ok(keys
+        let results = keys
             .iter()
             .map(|k| m.results[k.as_str()].clone())
-            .collect())
+            .collect();
+        Ok(PlanRun {
+            results,
+            memo: memo_delta,
+            journal,
+            threads,
+        })
+    }
+}
+
+/// One cell's entry in a [`PlanRun`] journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRecord {
+    /// The label the driver pushed the cell with.
+    pub label: String,
+    /// Index of the worker thread that simulated it (0 for memo hits).
+    pub worker: usize,
+    /// Microseconds after [`Plan::run`] began when simulation started
+    /// (for memo hits: when the cached result was served).
+    pub start_us: u64,
+    /// Wall-clock microseconds the simulation took (0 for memo hits).
+    pub dur_us: u64,
+    /// True when the cell was served from the process-wide memo cache
+    /// instead of being simulated by this plan.
+    pub memo_hit: bool,
+}
+
+/// The outcome of [`Plan::run`]: results in plan order, this plan's
+/// memo-cache deltas, and a per-cell wall-clock journal.
+///
+/// Indexes like the `Vec<RunResult>` it used to be, so drivers keep
+/// writing `results[cell]`.
+#[derive(Debug, Clone)]
+pub struct PlanRun {
+    results: Vec<RunResult>,
+    /// Memo traffic attributable to this plan alone: `hits` cells served
+    /// from cache, `misses` freshly simulated, `entries` distinct
+    /// configurations in the plan (contrast with the process-wide
+    /// [`memo_stats`]).
+    pub memo: MemoStats,
+    /// Per-cell schedule, in plan order.
+    pub journal: Vec<CellRecord>,
+    /// Worker threads the plan ran with.
+    pub threads: usize,
+}
+
+impl PlanRun {
+    /// Number of results (one per pushed cell).
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when the plan had no cells.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Iterates the results in plan order.
+    pub fn iter(&self) -> std::slice::Iter<'_, RunResult> {
+        self.results.iter()
+    }
+
+    /// The results in plan order, as a slice.
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// Renders the plan's schedule as a Chrome `trace_event` document
+    /// (loadable in `chrome://tracing` or Perfetto): one track per worker
+    /// thread, one complete span per freshly simulated cell, and one
+    /// instant event per memo hit on a dedicated track.
+    pub fn chrome_trace(&self, plan_name: &str) -> String {
+        chrome_trace_of(plan_name, &self.journal)
+    }
+}
+
+impl std::ops::Index<usize> for PlanRun {
+    type Output = RunResult;
+
+    fn index(&self, i: usize) -> &RunResult {
+        &self.results[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a PlanRun {
+    type Item = &'a RunResult;
+    type IntoIter = std::slice::Iter<'a, RunResult>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.results.iter()
+    }
+}
+
+impl IntoIterator for PlanRun {
+    type Item = RunResult;
+    type IntoIter = std::vec::IntoIter<RunResult>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.results.into_iter()
     }
 }
 
@@ -297,6 +558,46 @@ mod tests {
         // a hit (the config itself may already be cached process-wide).
         assert!(after.misses - before.misses <= 1);
         assert!(after.hits - before.hits >= 1);
+    }
+
+    #[test]
+    fn plan_reports_memo_deltas_and_journal() {
+        let cfg = RunConfig::quick("tunk").instructions(30_000);
+        let mut plan = Plan::with_threads(2);
+        plan.push("one", cfg.clone());
+        plan.push("two", cfg.clone());
+        let run = plan.run().unwrap();
+        // Per-plan deltas: two cells, one distinct config, so at least
+        // one cell was a memo hit regardless of process-wide state.
+        assert_eq!(run.memo.hits + run.memo.misses, 2);
+        assert_eq!(run.memo.entries, 1);
+        assert!(run.memo.hits >= 1);
+        assert_eq!(run.journal.len(), 2);
+        assert_eq!(run.journal[0].label, "one");
+        assert!(run.journal[1].memo_hit, "duplicate cell must be a hit");
+        let fresh = run.journal.iter().filter(|c| !c.memo_hit).count();
+        assert_eq!(fresh as u64, run.memo.misses);
+        assert!(run.journal.iter().filter(|c| !c.memo_hit).all(|c| c.dur_us > 0));
+    }
+
+    #[test]
+    fn plan_chrome_trace_is_valid_json() {
+        let cfg = RunConfig::quick("tunk").instructions(30_000);
+        let mut plan = Plan::with_threads(2);
+        plan.push("cell a", cfg.clone());
+        plan.push("cell a again", cfg);
+        let run = plan.run().unwrap();
+        let doc = seesaw_trace::json::Json::parse(&run.chrome_trace("test plan"))
+            .expect("chrome trace must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(seesaw_trace::json::Json::as_array)
+            .expect("traceEvents array");
+        // Metadata + at least one record per journal cell.
+        assert!(events.len() >= run.journal.len());
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(seesaw_trace::json::Json::as_str) == Some("i")
+        }));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use seesaw_core::{SeesawStats, TftStats};
 use seesaw_cpu::RunTotals;
 use seesaw_energy::EnergyBreakdown;
 use seesaw_tlb::TlbStats;
+use seesaw_trace::{Csv, Log2Histogram, MetricsRegistry, TraceData};
 
 /// One telemetry sample: deltas over a sampling window of the measured
 /// run (enabled with [`crate::RunConfig::sample_interval`]).
@@ -17,8 +18,47 @@ pub struct Sample {
     pub cpi: f64,
     /// L1 misses per kilo-instruction over the window.
     pub mpki: f64,
-    /// TFT hit rate over the window (0 when no TFT lookups happened).
+    /// TFT hit rate over the window. A window with zero TFT lookups
+    /// carries over the previous window's rate (NaN-free), rather than
+    /// reporting a misleading 0.
     pub tft_hit_rate: f64,
+    /// Page walks per kilo-instruction over the window.
+    pub walk_mpki: f64,
+    /// Mean L1 ways probed per demand access over the window.
+    pub ways_per_access: f64,
+}
+
+impl Sample {
+    /// Column headers matching [`Sample::csv_row`].
+    pub const CSV_COLUMNS: [&'static str; 6] = [
+        "instructions",
+        "cpi",
+        "mpki",
+        "tft_hit_rate",
+        "walk_mpki",
+        "ways_per_access",
+    ];
+
+    /// One CSV row of this sample's fields.
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.instructions.to_string(),
+            format!("{:.6}", self.cpi),
+            format!("{:.6}", self.mpki),
+            format!("{:.6}", self.tft_hit_rate),
+            format!("{:.6}", self.walk_mpki),
+            format!("{:.6}", self.ways_per_access),
+        ]
+    }
+
+    /// Renders a window series as a CSV document.
+    pub fn csv(samples: &[Sample]) -> String {
+        let mut csv = Csv::new(&Self::CSV_COLUMNS);
+        for s in samples {
+            csv.row(&s.csv_row());
+        }
+        csv.render()
+    }
 }
 
 /// Everything a run reports.
@@ -61,6 +101,15 @@ pub struct RunResult {
     pub checker: Option<CheckerSummary>,
     /// Windowed telemetry (empty unless sampling was enabled).
     pub samples: Vec<Sample>,
+    /// Log2 distribution of page-walk latency over the measured window.
+    pub walk_latency: Log2Histogram,
+    /// Log2 distribution of L1 miss penalty (outer-hierarchy cycles) over
+    /// the measured window.
+    pub miss_penalty: Log2Histogram,
+    /// Flat namespaced snapshot of every counter in the system.
+    pub metrics: MetricsRegistry,
+    /// Captured event trace, when [`crate::RunConfig::trace`] was set.
+    pub trace: Option<TraceData>,
 }
 
 impl RunResult {

@@ -15,9 +15,16 @@ use seesaw_mem::{
     ThpPolicy, Translation, VirtAddr, Vma,
 };
 use seesaw_tlb::{TlbHierarchy, TlbHierarchyConfig, TlbLevel};
+use seesaw_trace::{
+    Collect, EventKind, Log2Histogram, MetricsRegistry, NullSink, RingSink, Sink, TranslationLevel,
+};
 use seesaw_workloads::TraceGenerator;
 
 use crate::{CpuKind, L1DesignKind, RunConfig, RunResult, SchedulerHintPolicy, SimError};
+
+/// Events retained by the traced-run ring (the exact [`seesaw_trace::EventCounts`]
+/// mirror counts every event regardless, so reconciliation survives wrap).
+const TRACE_RING_CAPACITY: usize = 1 << 18;
 
 /// Per-window event counters.
 #[derive(Debug, Default)]
@@ -26,6 +33,7 @@ struct Counters {
     total_refs: u64,
     coherence_probes: u64,
     samples: Vec<crate::Sample>,
+    miss_penalty: Log2Histogram,
 }
 
 /// Cumulative counters at a sampling-window boundary.
@@ -33,9 +41,12 @@ struct Counters {
 struct SampleWindow {
     instructions: u64,
     cycles: u64,
+    l1_accesses: u64,
     l1_misses: u64,
+    l1_ways_probed: u64,
     tft_hits: u64,
     tft_misses: u64,
+    walks: u64,
 }
 
 impl SampleWindow {
@@ -48,23 +59,36 @@ impl SampleWindow {
         SampleWindow {
             instructions: cpu.instructions(),
             cycles: cpu.cycles(),
+            l1_accesses: l1.accesses(),
             l1_misses: l1.misses,
+            l1_ways_probed: l1.ways_probed,
             tft_hits: tft.hits,
             tft_misses: tft.misses,
+            walks: system.tlbs.walker_stats().walks,
         }
     }
 
-    fn delta(&self, now: &SampleWindow) -> crate::Sample {
+    /// Window deltas. `carry_tft_rate` is the previous window's TFT hit
+    /// rate, reported unchanged when this window saw zero TFT lookups —
+    /// a flat-lining series beats a misleading drop to 0.
+    fn delta(&self, now: &SampleWindow, carry_tft_rate: f64) -> crate::Sample {
         let instructions = (now.instructions - self.instructions).max(1);
         let tft_lookups = (now.tft_hits - self.tft_hits) + (now.tft_misses - self.tft_misses);
+        let accesses = now.l1_accesses - self.l1_accesses;
         crate::Sample {
             instructions: now.instructions,
             cpi: (now.cycles - self.cycles) as f64 / instructions as f64,
             mpki: (now.l1_misses - self.l1_misses) as f64 * 1000.0 / instructions as f64,
             tft_hit_rate: if tft_lookups == 0 {
-                0.0
+                carry_tft_rate
             } else {
                 (now.tft_hits - self.tft_hits) as f64 / tft_lookups as f64
+            },
+            walk_mpki: (now.walks - self.walks) as f64 * 1000.0 / instructions as f64,
+            ways_per_access: if accesses == 0 {
+                0.0
+            } else {
+                (now.l1_ways_probed - self.l1_ways_probed) as f64 / accesses as f64
             },
         }
     }
@@ -355,7 +379,23 @@ impl System {
     /// Returns [`SimError::PageFault`] if the workload touches unmapped
     /// memory, and [`SimError::Check`] when the differential checker (if
     /// enabled) catches an invariant violation.
-    pub fn run(mut self) -> Result<RunResult, SimError> {
+    pub fn run(self) -> Result<RunResult, SimError> {
+        // The sink is a generic parameter of the hot loop: the untraced
+        // path monomorphizes with `NullSink` (every emit site compiles to
+        // nothing), the traced path with the bounded ring.
+        if self.config.trace {
+            self.run_with_sink(RingSink::new(TRACE_RING_CAPACITY))
+        } else {
+            self.run_with_sink(NullSink)
+        }
+    }
+
+    // Outlined so each sink instantiation stays a separate, compact
+    // function: letting both the `NullSink` and `RingSink` bodies inline
+    // into `run` fuses them into one oversized frame and degrades code
+    // locality for the (hot) untraced path.
+    #[inline(never)]
+    fn run_with_sink<S: Sink>(mut self, mut sink: S) -> Result<RunResult, SimError> {
         // Functional pre-warm: replay the upcoming reference stream
         // against the outer hierarchy only (no timing, no energy). The
         // paper measures windows of traces that have been running for
@@ -376,15 +416,18 @@ impl System {
             .config
             .warmup_instructions
             .unwrap_or((self.config.instructions / 3).min(500_000));
-        // Warmup: same loop, throwaway core, no energy accounting.
+        // Warmup: same loop, throwaway core, no energy accounting, and
+        // never traced — the measured window's events must reconcile with
+        // the measured window's stat deltas.
         let mut warm_cpu = InOrderCpu::atom();
         let mut scratch = Counters::default();
-        self.simulate(warmup, &mut warm_cpu, false, &mut scratch)?;
+        self.simulate(warmup, &mut warm_cpu, false, &mut scratch, &mut NullSink)?;
 
         // Snapshot counters at the start of the measured window.
         let l1_before = self.l1.as_dyn().cache_stats();
         let tlb_before = self.tlbs.l1_stats();
-        let walks_before = self.tlbs.walker_stats().walks;
+        let walker_before = self.tlbs.walker_stats();
+        let walk_hist_before = self.tlbs.walker_latency_hist();
         let (seesaw_before, tft_before) = match &mut self.l1 {
             L1Flavor::Seesaw(l) => (l.seesaw_stats(), l.tft_stats()),
             _ => (SeesawStats::default(), TftStats::default()),
@@ -396,12 +439,24 @@ impl System {
         let totals = match self.config.cpu {
             CpuKind::InOrder => {
                 let mut cpu = InOrderCpu::atom();
-                self.simulate(self.config.instructions, &mut cpu, true, &mut counters)?;
+                self.simulate(
+                    self.config.instructions,
+                    &mut cpu,
+                    true,
+                    &mut counters,
+                    &mut sink,
+                )?;
                 cpu.totals()
             }
             CpuKind::OutOfOrder => {
                 let mut cpu = OooCpu::sandybridge();
-                self.simulate(self.config.instructions, &mut cpu, true, &mut counters)?;
+                self.simulate(
+                    self.config.instructions,
+                    &mut cpu,
+                    true,
+                    &mut counters,
+                    &mut sink,
+                )?;
                 cpu.totals()
             }
         };
@@ -420,15 +475,61 @@ impl System {
             ),
             L1Flavor::Vivt(_) => (SeesawStats::default(), TftStats::default(), None),
         };
+        let tlb_stats = self.tlbs.l1_stats().delta(&tlb_before);
+        let walker_stats = self.tlbs.walker_stats().delta(&walker_before);
+        let walk_latency = self.tlbs.walker_latency_hist().delta(&walk_hist_before);
+        let energy = self.account.finish(runtime_ns);
+        let trace = sink.finish();
+
+        // One flat namespaced snapshot of every counter (the Collect
+        // impls destructure their structs, so no field can be missing).
+        let mut metrics = MetricsRegistry::new();
+        totals.collect("cpu", &mut metrics);
+        l1_stats.collect("l1", &mut metrics);
+        counters.miss_penalty.collect("l1.miss_penalty", &mut metrics);
+        tlb_stats.collect("tlb.l1", &mut metrics);
+        if let Some(l2) = self.tlbs.l2_stats() {
+            l2.collect("tlb.l2", &mut metrics);
+        }
+        walker_stats.collect("tlb.walker", &mut metrics);
+        walk_latency.collect("tlb.walk_latency", &mut metrics);
+        seesaw_stats.collect("seesaw", &mut metrics);
+        tft_stats.collect("tft", &mut metrics);
+        energy.collect("energy", &mut metrics);
+        let (l2_cache, llc, dram_accesses, writebacks_received) = self.outer.stats();
+        l2_cache.collect("outer.l2", &mut metrics);
+        llc.collect("outer.llc", &mut metrics);
+        metrics.set_u64("outer.dram_accesses", dram_accesses);
+        metrics.set_u64("outer.writebacks_received", writebacks_received);
+        if let Some(pf) = self.outer.prefetch_stats() {
+            pf.collect("outer.prefetch", &mut metrics);
+        }
+        self.space.thp_stats().collect("os.thp", &mut metrics);
+        self.pmem.stats().collect("os.buddy", &mut metrics);
+        if let L1Flavor::Vivt(v) = &self.l1 {
+            v.synonym_stats().collect("vivt", &mut metrics);
+        }
+        if let Some(injector) = self.injector.as_ref() {
+            injector.stats().collect("faults", &mut metrics);
+        }
+        if let Some(checker) = self.checker.as_ref() {
+            checker.summary().collect("checker", &mut metrics);
+        }
+        metrics.set_u64("coherence.probes", counters.coherence_probes);
+        metrics.set_f64("os.superpage_coverage", self.space.superpage_coverage());
+        if let Some(t) = trace.as_ref() {
+            t.counts.collect("trace.events", &mut metrics);
+            metrics.set_u64("trace.dropped", t.dropped);
+        }
 
         let result = RunResult {
             totals,
             runtime_ns,
-            energy: self.account.finish(runtime_ns),
+            energy,
             l1: l1_stats,
             l1_mpki: l1_stats.mpki(totals.instructions),
-            tlb_l1: self.tlbs.l1_stats().delta(&tlb_before),
-            walks: self.tlbs.walker_stats().walks - walks_before,
+            tlb_l1: tlb_stats,
+            walks: walker_stats.walks,
             seesaw: seesaw_stats,
             tft: tft_stats,
             superpage_coverage: self.space.superpage_coverage(),
@@ -443,6 +544,10 @@ impl System {
             faults: self.injector.as_ref().map(|i| i.stats()),
             checker: self.checker.as_ref().map(|c| c.summary()),
             samples: counters.samples,
+            walk_latency,
+            miss_penalty: counters.miss_penalty,
+            metrics,
+            trace,
         };
         Ok(result)
     }
@@ -451,12 +556,21 @@ impl System {
     /// `measure` is false (warmup), energy and probe counters are not
     /// charged; hardware state (caches, TLBs, TFT, predictors) warms
     /// either way.
-    fn simulate<C: CpuModel>(
+    ///
+    /// The sink is a compile-time parameter: every `if S::ENABLED` guard
+    /// below is a constant branch, so the untraced instantiation carries
+    /// no event-emission code at all. Kept out-of-line for the same
+    /// code-locality reason as [`System::run_with_sink`]: one call per
+    /// window amortizes to nothing, while inlining four instantiations
+    /// into the caller bloats it past the instruction cache.
+    #[inline(never)]
+    fn simulate<C: CpuModel, S: Sink>(
         &mut self,
         instructions: u64,
         cpu: &mut C,
         measure: bool,
         counters: &mut Counters,
+        sink: &mut S,
     ) -> Result<(), SimError> {
         let miss_squash = OooCpu::sandybridge().miss_squash_cycles();
         let is_ooo = self.config.cpu == CpuKind::OutOfOrder;
@@ -481,6 +595,7 @@ impl System {
         let mut executed = 0u64;
         let mut next_sample = if measure { sample_every } else { u64::MAX };
         let mut window = SampleWindow::capture(self, cpu);
+        let mut last_tft_rate = 0.0;
         let mut next_switch = switch_every;
         let mut next_page_op = page_op_every;
         let mut page_op_toggle = false;
@@ -488,12 +603,30 @@ impl System {
         while executed < instructions {
             let tref = self.generator.next_ref();
             let va = self.vma.base().offset(tref.offset);
+            let at = self.elapsed + executed;
 
             // Translation (parallel with cache indexing for V-indexed L1s).
             let lookup = self
                 .tlbs
                 .lookup(va, &self.space)
                 .ok_or(SimError::PageFault { va: va.raw() })?;
+            if S::ENABLED {
+                let level = match lookup.level {
+                    TlbLevel::L1 => TranslationLevel::L1,
+                    TlbLevel::L2 => TranslationLevel::L2,
+                    TlbLevel::PageWalk => TranslationLevel::Walk,
+                };
+                sink.emit(at, EventKind::TlbLookup { level });
+                if lookup.level == TlbLevel::PageWalk {
+                    sink.emit(
+                        at,
+                        EventKind::WalkEnd {
+                            cycles: lookup.cost_cycles as u32,
+                            superpage: lookup.entry.size.is_superpage(),
+                        },
+                    );
+                }
+            }
             // VIVT hits never consult the TLB; its translation energy is
             // charged below, only for misses.
             if measure && !is_vivt {
@@ -510,6 +643,9 @@ impl System {
             if let Some(seesaw) = self.l1.seesaw() {
                 for page in &lookup.superpage_l1_fills {
                     seesaw.tft_fill(page.base());
+                    if S::ENABLED {
+                        sink.emit(at, EventKind::TftFill);
+                    }
                 }
             }
 
@@ -527,6 +663,18 @@ impl System {
                 is_write: tref.is_write,
             };
             let out = self.l1.as_dyn().access(&req);
+            if S::ENABLED {
+                if let Some(hit) = out.tft_hit {
+                    sink.emit(at, EventKind::TftLookup { hit });
+                }
+                sink.emit(
+                    at,
+                    EventKind::PartitionLookup {
+                        ways_probed: out.ways_probed.min(u8::MAX as usize) as u8,
+                        hit: out.hit,
+                    },
+                );
+            }
 
             // Differential shadow check: the hardware's translation and
             // TFT verdict against the page table's ground truth and the
@@ -536,8 +684,8 @@ impl System {
                     .translate_cached(va)
                     .ok_or(SimError::PageFault { va: va.raw() })?;
                 let checker = self.checker.as_mut().expect("checked above");
-                checker.check_access(
-                    self.elapsed + executed,
+                if let Err(v) = checker.check_access(
+                    at,
                     &AccessCheck {
                         va: va.raw(),
                         pa: pa.raw(),
@@ -546,7 +694,12 @@ impl System {
                         tft_hit: out.tft_hit,
                         is_write: tref.is_write,
                     },
-                )?;
+                ) {
+                    if S::ENABLED {
+                        sink.emit(at, EventKind::Violation { kind: v.kind.name() });
+                    }
+                    return Err(v.into());
+                }
             }
 
             let mut squash_cycles = 0u64;
@@ -564,6 +717,9 @@ impl System {
                 if out.tft_hit == Some(false) && page_size.is_superpage() {
                     if let Some(seesaw) = self.l1.seesaw() {
                         seesaw.tft_fill(va);
+                        if S::ENABLED {
+                            sink.emit(at, EventKind::TftFill);
+                        }
                     }
                 }
             }
@@ -589,6 +745,9 @@ impl System {
             if !out.hit {
                 let ptag = pa.raw() / line_bytes;
                 let (level, miss_cycles) = self.outer.access(ptag, req.is_write);
+                if measure {
+                    counters.miss_penalty.record(miss_cycles);
+                }
                 if is_vivt {
                     // The translation VIVT deferred happens on the miss path.
                     latency += lookup.cost_cycles + 1;
@@ -671,6 +830,15 @@ impl System {
                     .l1
                     .as_dyn()
                     .coherence_probe(PhysAddr::new(probe.ptag * line_bytes), probe.invalidate);
+                if S::ENABLED {
+                    sink.emit(
+                        at,
+                        EventKind::CoherenceProbe {
+                            ways_probed: ways.min(u8::MAX as usize) as u8,
+                            invalidate: probe.invalidate,
+                        },
+                    );
+                }
                 if measure {
                     self.account.coherence_lookup(ways);
                     counters.coherence_probes += 1;
@@ -681,15 +849,23 @@ impl System {
             if executed >= next_sample {
                 next_sample += sample_every;
                 let now = SampleWindow::capture(self, cpu);
-                counters.samples.push(window.delta(&now));
+                let sample = window.delta(&now, last_tft_rate);
+                last_tft_rate = sample.tft_hit_rate;
+                counters.samples.push(sample);
                 window = now;
             }
 
             // Context switches flush the (ASID-less) TFT.
             if executed >= next_switch {
                 next_switch += switch_every;
+                if S::ENABLED {
+                    sink.emit(at, EventKind::ContextSwitch);
+                }
                 if let Some(seesaw) = self.l1.seesaw() {
                     seesaw.context_switch();
+                    if S::ENABLED {
+                        sink.emit(at, EventKind::TftFlush);
+                    }
                 }
             }
 
@@ -698,7 +874,7 @@ impl System {
             // through the same fault-application path as the injector.
             if executed >= next_page_op {
                 next_page_op += page_op_every;
-                self.apply_page_op(va, page_op_toggle, self.elapsed + executed)?;
+                self.apply_page_op(va, page_op_toggle, self.elapsed + executed, sink)?;
                 page_op_toggle = !page_op_toggle;
             }
 
@@ -708,7 +884,7 @@ impl System {
                 .as_mut()
                 .and_then(|i| i.poll(self.elapsed + executed))
             {
-                self.apply_fault(kind, self.elapsed + executed)?;
+                self.apply_fault(kind, self.elapsed + executed, sink)?;
             }
         }
         self.elapsed += executed;
@@ -741,11 +917,12 @@ impl System {
     /// A promotion that fails for lack of contiguous physical memory is
     /// graceful degradation, not an error: the region stays base-paged
     /// and the demotion is counted.
-    fn apply_page_op(
+    fn apply_page_op<S: Sink>(
         &mut self,
         va: VirtAddr,
         promote: bool,
         instruction: u64,
+        sink: &mut S,
     ) -> Result<(), SimError> {
         // The page table is about to change shape; the last-translation
         // micro-cache must not serve a stale mapping.
@@ -759,8 +936,16 @@ impl System {
             Ok(_) => {}
             Err(MemError::Fragmented { .. } | MemError::OutOfMemory { .. }) if promote => {
                 self.run_demotions += 1;
+                let region = VirtAddr::new(va.raw() & !(PageSize::Super2M.bytes() - 1));
+                if S::ENABLED {
+                    sink.emit(
+                        instruction,
+                        EventKind::Demotion {
+                            region_va: region.raw(),
+                        },
+                    );
+                }
                 if let Some(checker) = self.checker.as_mut() {
-                    let region = VirtAddr::new(va.raw() & !(PageSize::Super2M.bytes() - 1));
                     checker.record_event(
                         instruction,
                         CheckEvent::PromotionDemoted {
@@ -781,6 +966,29 @@ impl System {
             .unwrap_or_default();
         for op in self.space.drain_ops() {
             self.tlbs.handle_op(&op);
+            if S::ENABLED {
+                match &op {
+                    PageTableOp::Splintered(page) => sink.emit(
+                        instruction,
+                        EventKind::Splinter {
+                            region_va: page.base().raw(),
+                        },
+                    ),
+                    PageTableOp::Promoted { page, .. } => sink.emit(
+                        instruction,
+                        EventKind::Promotion {
+                            region_va: page.base().raw(),
+                        },
+                    ),
+                    PageTableOp::Unmapped(page) => sink.emit(
+                        instruction,
+                        EventKind::Shootdown {
+                            page_va: page.base().raw(),
+                        },
+                    ),
+                    PageTableOp::Mapped(_) => {}
+                }
+            }
             // ChaosConfig knobs deliberately lose the L1-side invalidation
             // so tests can prove the checker catches the corruption.
             let dropped = match &op {
@@ -800,7 +1008,14 @@ impl System {
                 }
                 _ => {}
             }
-            self.observe_op(&op, instruction)?;
+            if let Err(e) = self.observe_op(&op, instruction) {
+                if S::ENABLED {
+                    if let SimError::Check(v) = &e {
+                        sink.emit(instruction, EventKind::Violation { kind: v.kind.name() });
+                    }
+                }
+                return Err(e);
+            }
         }
         if promote {
             // Promotion copies the region into the new 2 MB frame; the
@@ -926,11 +1141,19 @@ impl System {
     }
 
     /// Applies one injected fault.
-    fn apply_fault(&mut self, kind: FaultKind, instruction: u64) -> Result<(), SimError> {
+    fn apply_fault<S: Sink>(
+        &mut self,
+        kind: FaultKind,
+        instruction: u64,
+        sink: &mut S,
+    ) -> Result<(), SimError> {
         // Every fault kind may reshape translations (splinters,
         // promotions, pressure-driven remaps); drop the micro-cache
         // wholesale rather than reason per-kind.
         self.last_translation = None;
+        if S::ENABLED {
+            sink.emit(instruction, EventKind::Fault { kind: kind.name() });
+        }
         if let Some(checker) = self.checker.as_mut() {
             checker.record_event(instruction, CheckEvent::Injected(kind));
         }
@@ -943,7 +1166,7 @@ impl System {
                     .vma
                     .base()
                     .offset(region as u64 * PageSize::Super2M.bytes());
-                self.apply_page_op(va, kind == FaultKind::Promote, instruction)?;
+                self.apply_page_op(va, kind == FaultKind::Promote, instruction, sink)?;
             }
             FaultKind::TlbShootdown => {
                 // A spurious shootdown: the TLBs drop a mapping the page
@@ -959,6 +1182,14 @@ impl System {
                 if let Some(t) = self.space.translate(va) {
                     let op = PageTableOp::Unmapped(t.vpage);
                     self.tlbs.handle_op(&op);
+                    if S::ENABLED {
+                        sink.emit(
+                            instruction,
+                            EventKind::Shootdown {
+                                page_va: t.vpage.base().raw(),
+                            },
+                        );
+                    }
                     if let Some(checker) = self.checker.as_mut() {
                         checker.record_event(
                             instruction,
@@ -988,13 +1219,22 @@ impl System {
                     if backed_super {
                         if let Some(seesaw) = self.l1.seesaw() {
                             seesaw.tft_fill(va);
+                            if S::ENABLED {
+                                sink.emit(instruction, EventKind::TftFill);
+                            }
                         }
                     }
                 }
             }
             FaultKind::ContextSwitch => {
+                if S::ENABLED {
+                    sink.emit(instruction, EventKind::ContextSwitch);
+                }
                 if let Some(seesaw) = self.l1.seesaw() {
                     seesaw.context_switch();
+                    if S::ENABLED {
+                        sink.emit(instruction, EventKind::TftFlush);
+                    }
                 }
                 if let Some(checker) = self.checker.as_mut() {
                     checker.record_event(instruction, CheckEvent::ContextSwitch);

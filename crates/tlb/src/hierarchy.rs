@@ -185,6 +185,11 @@ impl TlbHierarchy {
         self.walker.stats()
     }
 
+    /// Log2 distribution of per-walk latency.
+    pub fn walker_latency_hist(&self) -> seesaw_trace::Log2Histogram {
+        self.walker.latency_hist()
+    }
+
     fn l1_lookup(&mut self, va: VirtAddr, asid: u16) -> Option<TlbEntry> {
         match &mut self.l1 {
             L1Tlbs::Split { l1_4k, l1_2m, l1_1g } => {

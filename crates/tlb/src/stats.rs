@@ -1,5 +1,7 @@
 //! TLB access counters.
 
+use seesaw_trace::{Collect, MetricsRegistry};
+
 /// Hit/miss/maintenance counters for one TLB structure.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
@@ -42,6 +44,26 @@ impl TlbStats {
         } else {
             self.hits as f64 / self.lookups() as f64
         }
+    }
+}
+
+impl Collect for TlbStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let TlbStats {
+            hits,
+            misses,
+            fills,
+            evictions,
+            invalidations,
+            flushes,
+        } = *self;
+        out.set_u64(&format!("{prefix}.hits"), hits);
+        out.set_u64(&format!("{prefix}.misses"), misses);
+        out.set_u64(&format!("{prefix}.fills"), fills);
+        out.set_u64(&format!("{prefix}.evictions"), evictions);
+        out.set_u64(&format!("{prefix}.invalidations"), invalidations);
+        out.set_u64(&format!("{prefix}.flushes"), flushes);
+        out.set_f64(&format!("{prefix}.hit_rate"), self.hit_rate());
     }
 }
 

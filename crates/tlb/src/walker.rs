@@ -1,6 +1,7 @@
 //! Page-table walker.
 
 use seesaw_mem::{AddressSpace, Translation, VirtAddr};
+use seesaw_trace::{Collect, Log2Histogram, MetricsRegistry};
 
 /// Result of a completed page walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,7 @@ pub struct PageWalker {
     /// Number of radix levels for a 4 KB walk (4 on x86-64).
     pub levels: u32,
     stats: WalkerStats,
+    latency_hist: Log2Histogram,
 }
 
 /// Walk counters.
@@ -36,12 +38,37 @@ pub struct WalkerStats {
     pub faults: u64,
 }
 
+impl WalkerStats {
+    /// Fieldwise difference versus an earlier snapshot.
+    pub fn delta(&self, earlier: &WalkerStats) -> WalkerStats {
+        WalkerStats {
+            walks: self.walks - earlier.walks,
+            cycles: self.cycles - earlier.cycles,
+            faults: self.faults - earlier.faults,
+        }
+    }
+}
+
+impl Collect for WalkerStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let WalkerStats {
+            walks,
+            cycles,
+            faults,
+        } = *self;
+        out.set_u64(&format!("{prefix}.walks"), walks);
+        out.set_u64(&format!("{prefix}.cycles"), cycles);
+        out.set_u64(&format!("{prefix}.faults"), faults);
+    }
+}
+
 impl Default for PageWalker {
     fn default() -> Self {
         Self {
             cycles_per_level: 25,
             levels: 4,
             stats: WalkerStats::default(),
+            latency_hist: Log2Histogram::new(),
         }
     }
 }
@@ -76,6 +103,7 @@ impl PageWalker {
         let cycles = self.cycles_per_level * u64::from(levels_touched);
         self.stats.walks += 1;
         self.stats.cycles += cycles;
+        self.latency_hist.record(cycles);
         Some(WalkResult {
             translation,
             cycles,
@@ -85,6 +113,11 @@ impl PageWalker {
     /// Walk counters.
     pub fn stats(&self) -> WalkerStats {
         self.stats
+    }
+
+    /// Log2-bucketed distribution of per-walk latency.
+    pub fn latency_hist(&self) -> Log2Histogram {
+        self.latency_hist
     }
 }
 

@@ -1,0 +1,136 @@
+//! JSONL event-stream validation: parse every line, check the event
+//! schema, and tally per-type counts so the stream can be reconciled
+//! against an [`crate::EventCounts`] snapshot.
+
+use std::collections::BTreeMap;
+
+use crate::event::EventKind;
+use crate::json::Json;
+
+/// The result of validating a JSONL event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JsonlReport {
+    /// Non-empty lines validated.
+    pub lines: u64,
+    /// Events per `type` value, sorted.
+    pub counts: BTreeMap<String, u64>,
+}
+
+impl JsonlReport {
+    /// Count for one event type (0 if absent).
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// A validation failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlError {
+    /// 1-based line number of the offending line.
+    pub line: u64,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "jsonl line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+/// Validates a JSONL event stream produced by
+/// [`crate::TraceData::to_jsonl`]: each non-empty line must be a JSON
+/// object with a numeric `at` and a known `type`. Returns per-type
+/// counts on success.
+pub fn validate_jsonl(text: &str) -> Result<JsonlReport, JsonlError> {
+    let mut report = JsonlReport::default();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i as u64 + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| JsonlError {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+        let obj = doc.as_object().ok_or_else(|| JsonlError {
+            line: lineno,
+            message: "line is not a JSON object".to_string(),
+        })?;
+        let at = obj.get("at").and_then(Json::as_u64);
+        if at.is_none() {
+            return Err(JsonlError {
+                line: lineno,
+                message: "missing or non-integer \"at\" field".to_string(),
+            });
+        }
+        let ty = obj
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonlError {
+                line: lineno,
+                message: "missing \"type\" field".to_string(),
+            })?;
+        if !EventKind::NAMES.contains(&ty) {
+            return Err(JsonlError {
+                line: lineno,
+                message: format!("unknown event type \"{ty}\""),
+            });
+        }
+        *report.counts.entry(ty.to_string()).or_insert(0) += 1;
+        report.lines += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TranslationLevel;
+    use crate::sink::{RingSink, Sink};
+
+    #[test]
+    fn validates_sink_output() {
+        let mut s = RingSink::new(16);
+        s.emit(
+            1,
+            EventKind::TlbLookup {
+                level: TranslationLevel::Walk,
+            },
+        );
+        s.emit(
+            2,
+            EventKind::WalkEnd {
+                cycles: 50,
+                superpage: false,
+            },
+        );
+        s.emit(3, EventKind::Fault { kind: "splinter" });
+        let t = s.finish().unwrap();
+        let report = validate_jsonl(&t.to_jsonl()).unwrap();
+        assert_eq!(report.lines, 3);
+        assert_eq!(report.count("tlb_lookup"), 1);
+        assert_eq!(report.count("walk_end"), 1);
+        assert_eq!(report.count("fault"), 1);
+        assert_eq!(report.count("absent"), 0);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(validate_jsonl("not json").is_err());
+        assert!(validate_jsonl("{\"type\":\"walk_end\"}").is_err()); // no at
+        assert!(validate_jsonl("{\"at\":1}").is_err()); // no type
+        assert!(validate_jsonl("{\"at\":1,\"type\":\"bogus\"}").is_err());
+        let err = validate_jsonl("{\"at\":1,\"type\":\"tft_fill\"}\nbroken").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let report = validate_jsonl("\n{\"at\":1,\"type\":\"tft_fill\"}\n\n").unwrap();
+        assert_eq!(report.lines, 1);
+    }
+}

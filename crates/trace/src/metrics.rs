@@ -1,0 +1,166 @@
+//! The flat metrics registry and the `Collect` trait.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single metric value: unsigned counter or derived ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// An exact counter.
+    U64(u64),
+    /// A derived floating-point quantity (rate, mean, percentage).
+    F64(f64),
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::U64(v) => write!(f, "{v}"),
+            MetricValue::F64(v) => write!(f, "{v:.6}"),
+        }
+    }
+}
+
+/// One flat, namespaced `key → value` snapshot of every counter in the
+/// simulator. Keys are dotted paths (`l1.misses`, `tlb.l1_4k.hits`,
+/// `trace.events.walk_ends`); iteration order is sorted, so renders are
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an exact counter.
+    pub fn set_u64(&mut self, key: &str, value: u64) {
+        self.values.insert(key.to_string(), MetricValue::U64(value));
+    }
+
+    /// Records a derived floating-point quantity. Non-finite values are
+    /// stored as `0.0` so exports stay valid JSON.
+    pub fn set_f64(&mut self, key: &str, value: f64) {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.values.insert(key.to_string(), MetricValue::F64(v));
+    }
+
+    /// Looks up a metric by exact key.
+    pub fn get(&self, key: &str) -> Option<MetricValue> {
+        self.values.get(key).copied()
+    }
+
+    /// Looks up an exact counter; `None` if absent or stored as `F64`.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.values.get(key) {
+            Some(MetricValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a float metric; counters are widened.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.values.get(key) {
+            Some(MetricValue::U64(v)) => Some(*v as f64),
+            Some(MetricValue::F64(v)) => Some(*v),
+            None => None,
+        }
+    }
+
+    /// True if the key is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no metrics have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates metrics in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All keys in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
+    /// Keys under a dotted prefix (`prefix.` + rest), sorted.
+    pub fn keys_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.values
+            .keys()
+            .map(String::as_str)
+            .filter(move |k| k.starts_with(prefix) && k.as_bytes().get(prefix.len()) == Some(&b'.'))
+    }
+
+    /// Renders the registry as one sorted flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{k}\":"));
+            match v {
+                MetricValue::U64(n) => s.push_str(&n.to_string()),
+                MetricValue::F64(n) => s.push_str(&format!("{n:.6}")),
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Snapshot a stats struct into the registry under a dotted prefix.
+///
+/// Implementations MUST destructure `self` without `..` so that adding a
+/// field to the stats struct breaks compilation until it is exported —
+/// this is how the registry-completeness guarantee is enforced at
+/// compile time rather than by a hand-maintained list.
+pub trait Collect {
+    /// Writes every field as `prefix.field` into `out`.
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_roundtrip_and_order() {
+        let mut m = MetricsRegistry::new();
+        m.set_u64("b.count", 3);
+        m.set_f64("a.rate", 0.5);
+        m.set_f64("c.bad", f64::NAN);
+        assert_eq!(m.get_u64("b.count"), Some(3));
+        assert_eq!(m.get_f64("a.rate"), Some(0.5));
+        assert_eq!(m.get_f64("c.bad"), Some(0.0));
+        assert_eq!(m.get_f64("b.count"), Some(3.0));
+        assert_eq!(m.get_u64("a.rate"), None);
+        assert!(m.contains("a.rate"));
+        assert_eq!(m.len(), 3);
+        let keys: Vec<_> = m.keys().collect();
+        assert_eq!(keys, vec!["a.rate", "b.count", "c.bad"]);
+        assert_eq!(m.to_json(), "{\"a.rate\":0.500000,\"b.count\":3,\"c.bad\":0.000000}");
+    }
+
+    #[test]
+    fn keys_under_respects_dot_boundary() {
+        let mut m = MetricsRegistry::new();
+        m.set_u64("l1.hits", 1);
+        m.set_u64("l1x.hits", 2);
+        m.set_u64("l1.misses", 3);
+        let under: Vec<_> = m.keys_under("l1").collect();
+        assert_eq!(under, vec!["l1.hits", "l1.misses"]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Event sinks: where traced events go.
+//!
+//! The hot loop is generic over `S: Sink` and guards every emission with
+//! `if S::ENABLED { sink.emit(..) }`. `ENABLED` is an associated
+//! constant, so for [`NullSink`] the branch is `if false` and the whole
+//! emission site — including payload construction — is dead code the
+//! optimizer removes. This is the crate's zero-overhead-when-off
+//! guarantee: it does not rely on branch prediction, only on
+//! monomorphization.
+
+use std::collections::VecDeque;
+
+use crate::event::{Event, EventCounts, EventKind};
+
+/// Destination for traced events.
+pub trait Sink {
+    /// Compile-time flag: emission sites are guarded by
+    /// `if S::ENABLED`, so a `false` here removes them entirely from the
+    /// monomorphized code.
+    const ENABLED: bool;
+
+    /// Records one event stamped with the absolute instruction count.
+    fn emit(&mut self, at: u64, kind: EventKind);
+
+    /// Consumes the sink and returns its captured trace, if any.
+    fn finish(self) -> Option<TraceData>;
+}
+
+/// The disabled sink: every emission site monomorphizes to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _at: u64, _kind: EventKind) {}
+
+    fn finish(self) -> Option<TraceData> {
+        None
+    }
+}
+
+/// A bounded ring of the most recent events plus an exact
+/// [`EventCounts`] mirror that survives ring wrap-around.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+    counts: EventCounts,
+}
+
+impl RingSink {
+    /// Creates a sink that retains the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            ring: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            counts: EventCounts::default(),
+        }
+    }
+
+    /// Events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Exact per-type counts of every event ever emitted.
+    pub fn counts(&self) -> &EventCounts {
+        &self.counts
+    }
+}
+
+impl Sink for RingSink {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn emit(&mut self, at: u64, kind: EventKind) {
+        self.counts.observe(&kind);
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(Event { at, kind });
+    }
+
+    fn finish(self) -> Option<TraceData> {
+        Some(TraceData {
+            events: self.ring.into_iter().collect(),
+            counts: self.counts,
+            dropped: self.dropped,
+        })
+    }
+}
+
+/// The captured output of a traced run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// The retained tail of the event stream, oldest first.
+    pub events: Vec<Event>,
+    /// Exact counts of every event emitted (including dropped ones).
+    pub counts: EventCounts,
+    /// Events evicted from the ring because capacity was exceeded.
+    pub dropped: u64,
+}
+
+impl TraceData {
+    /// Renders the retained events as a JSONL string, one event per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total events emitted over the run (retained + dropped).
+    pub fn emitted(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TranslationLevel;
+
+    #[test]
+    fn null_sink_is_disabled_and_empty() {
+        fn enabled<S: Sink>(_s: &S) -> bool {
+            S::ENABLED
+        }
+        let mut s = NullSink;
+        assert!(!enabled(&s));
+        s.emit(1, EventKind::ContextSwitch);
+        assert!(s.finish().is_none());
+    }
+
+    #[test]
+    fn ring_wraps_but_counts_everything() {
+        let mut s = RingSink::new(4);
+        for i in 0..10 {
+            s.emit(
+                i,
+                EventKind::TlbLookup {
+                    level: TranslationLevel::L1,
+                },
+            );
+        }
+        assert_eq!(s.len(), 4);
+        let t = s.finish().unwrap();
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.dropped, 6);
+        assert_eq!(t.counts.tlb_l1_hits, 10);
+        assert_eq!(t.emitted(), 10);
+        // Ring keeps the most recent events, oldest first.
+        assert_eq!(t.events[0].at, 6);
+        assert_eq!(t.events[3].at, 9);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_retained_event() {
+        let mut s = RingSink::new(8);
+        s.emit(5, EventKind::TftFill);
+        s.emit(6, EventKind::TftFlush);
+        let t = s.finish().unwrap();
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.starts_with("{\"at\":5,\"type\":\"tft_fill\"}"));
+    }
+}

@@ -23,6 +23,8 @@ bins="table1 table2 table3 fig2a fig2b fig2c fig3 fig7 fig8 fig9 \
       fig10 fig11 fig12 fig13 fig14 fig15 ablations scheduler partitions"
 
 threads="${SEESAW_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+trace_enabled=$([ -n "${SEESAW_TRACE:-}" ] && echo true || echo false)
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -30,6 +32,8 @@ trap 'rm -f "$tmp"' EXIT
   echo "{"
   echo "  \"budget_instructions\": ${budget},"
   echo "  \"threads\": ${threads},"
+  echo "  \"git_sha\": \"${git_sha}\","
+  echo "  \"trace_enabled\": ${trace_enabled},"
   echo "  \"figures\": {"
   first=1
   for bin in $bins; do

@@ -21,4 +21,7 @@ echo "==> multi-threaded smoke (4 workers): fig15 driver + checker-enabled plan"
 SEESAW_THREADS=4 ./target/release/fig15 60000
 SEESAW_THREADS=4 cargo test --release -q --test runner
 
+echo "==> traced smoke: fault-injected run, tracing on, JSONL through the validator"
+./target/release/trace_smoke emit | ./target/release/trace_smoke validate
+
 echo "OK: all checks passed."
