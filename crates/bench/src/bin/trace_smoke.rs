@@ -2,9 +2,11 @@
 //!
 //! Two modes, designed to be piped into each other:
 //!
-//! * `trace_smoke emit` — runs a tiny fault-injected, checker-enabled
-//!   SEESAW simulation with event tracing on, verifies that the captured
-//!   event counts reconcile exactly with the run's metrics snapshot, and
+//! * `trace_smoke emit [--cores N]` — runs a tiny fault-injected,
+//!   checker-enabled SEESAW simulation (N round-robin cores, with real
+//!   directory coherence for N > 1) with event tracing on, verifies that
+//!   the captured event counts reconcile exactly with the run's metrics
+//!   snapshot — and, per core, with each core's own counters — and
 //!   prints the JSONL event stream to stdout (progress goes to stderr).
 //! * `trace_smoke validate` — reads a JSONL event stream from stdin,
 //!   validates every line (object shape, numeric `at`, known event
@@ -19,9 +21,10 @@ use std::io::Read;
 use seesaw_bench::{ok_or_exit, reconcile};
 use seesaw_sim::{FaultConfig, L1DesignKind, RunConfig, System};
 
-fn emit() {
+fn emit(cores: usize) {
     let cfg = RunConfig::quick("redis")
         .design(L1DesignKind::Seesaw)
+        .cores(cores)
         .with_checker()
         .with_faults(FaultConfig::all(0x7ace))
         .with_trace();
@@ -31,10 +34,31 @@ fn emit() {
         eprintln!("error: event trace diverges from metrics: {msg}");
         std::process::exit(1);
     }
+    // Per-core reconciliation: the trace's per-core split must agree
+    // with every core's own counters — attribution, not just totals.
+    for core in &result.cores {
+        let c = &trace.per_core[core.core];
+        for (what, traced, counted) in [
+            ("l1_misses", c.l1_misses, core.l1.misses),
+            ("walk_ends", c.walk_ends, core.walks),
+            ("coherence_probes", c.coherence_probes, core.coherence_probes),
+        ] {
+            if traced != counted {
+                eprintln!(
+                    "error: core {} {what}: trace says {traced}, counters say {counted}",
+                    core.core
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    let split: Vec<u64> = trace.per_core.iter().map(|c| c.total()).collect();
     eprintln!(
-        "[trace_smoke] {} events captured ({} dropped), {} metric keys, faults: {}",
+        "[trace_smoke] {} events captured ({} dropped) across {} core(s) {:?}, {} metric keys, faults: {}",
         trace.events.len(),
         trace.dropped,
+        result.cores.len(),
+        split,
         result.metrics.len(),
         result
             .metrics
@@ -69,11 +93,28 @@ fn validate() {
 }
 
 fn main() {
-    match std::env::args().nth(1).as_deref() {
-        Some("emit") => emit(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("emit") => {
+            let cores = match args.get(1).map(String::as_str) {
+                Some("--cores") => match args.get(2).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("error: --cores needs a positive integer");
+                        std::process::exit(2);
+                    }
+                },
+                Some(other) => {
+                    eprintln!("error: unknown option {other:?}");
+                    std::process::exit(2);
+                }
+                None => 1,
+            };
+            emit(cores);
+        }
         Some("validate") => validate(),
         _ => {
-            eprintln!("usage: trace_smoke <emit|validate>");
+            eprintln!("usage: trace_smoke <emit [--cores N]|validate>");
             std::process::exit(2);
         }
     }

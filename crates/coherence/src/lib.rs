@@ -12,9 +12,15 @@
 //! * [`protocol`] — the MOESI state machine itself;
 //! * [`DirectoryController`] — a functional multi-core directory
 //!   (plus a snoopy broadcast variant) over real L1 cache arrays;
-//! * [`CoherenceTraffic`] — a calibrated probe-rate generator used by the
-//!   single-core timing simulations to model probes arriving from other
+//! * [`CoherenceTraffic`] — a calibrated probe-rate generator, the
+//!   `cores = 1` fallback that models probes arriving from unsimulated
 //!   cores and from system-level activity.
+//!
+//! Multi-core runs drive [`DirectoryController::access`] with every
+//! reference; the [`Transaction`] it returns carries the
+//! [`ProbeDelivery`] list the simulator replays against the per-core
+//! timing L1s, so every probe originates from a real peer miss or
+//! upgrade rather than from the synthetic stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,5 +30,7 @@ pub mod protocol;
 mod directory;
 mod traffic;
 
-pub use directory::{CoherenceMode, CoherenceStats, DirectoryController};
+pub use directory::{
+    CoherenceMode, CoherenceStats, DirectoryController, ProbeDelivery, Transaction,
+};
 pub use traffic::{CoherenceTraffic, CoherenceTrafficConfig, Probe};

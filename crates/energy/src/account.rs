@@ -165,8 +165,17 @@ impl EnergyAccount {
     }
 
     /// Finalizes the account, charging leakage for the run's duration.
-    pub fn finish(mut self, runtime_ns: f64) -> EnergyBreakdown {
-        self.acc.leakage_nj = self.model.l1_leakage_nj(self.l1_size_kb, runtime_ns);
+    pub fn finish(self, runtime_ns: f64) -> EnergyBreakdown {
+        self.finish_many(runtime_ns, 1)
+    }
+
+    /// Finalizes a multi-core account: dynamic energy has accumulated
+    /// across all cores already, but leakage scales with the number of
+    /// L1 instances powered for the run's duration. `finish_many(ns, 1)`
+    /// is bit-identical to [`EnergyAccount::finish`].
+    pub fn finish_many(mut self, runtime_ns: f64, l1_instances: u64) -> EnergyBreakdown {
+        self.acc.leakage_nj =
+            self.model.l1_leakage_nj(self.l1_size_kb, runtime_ns) * l1_instances as f64;
         self.acc
     }
 }

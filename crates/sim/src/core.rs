@@ -1,0 +1,106 @@
+//! The per-core slice of the system: everything a core owns privately.
+//!
+//! A [`Core`] bundles the CPU-side hardware (TLB hierarchy, the L1
+//! design under test with its TFT, the scheduler-hint state) with the
+//! core's private software context (its workload stream, shadow
+//! checker, fault injector, and synthetic probe source). The shared
+//! machine — physical memory, the outer hierarchy, the directory — is
+//! [`crate::uncore::Uncore`]; the interleaved run loop in
+//! [`crate::System`] drives N of these against one uncore.
+
+use seesaw_check::{FaultInjector, ShadowChecker};
+use seesaw_coherence::CoherenceTraffic;
+use seesaw_core::{BaselineL1, L1DataCache, SchedulerHint, SeesawL1, VivtL1};
+use seesaw_mem::{AddressSpace, PhysAddr, Translation, VirtAddr};
+use seesaw_tlb::TlbHierarchy;
+use seesaw_workloads::TraceGenerator;
+
+/// The L1 design under test, unified for the run loop.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum L1Flavor {
+    Baseline(BaselineL1),
+    Seesaw(Box<SeesawL1>),
+    Vivt(Box<VivtL1>),
+}
+
+impl L1Flavor {
+    pub(crate) fn as_dyn(&mut self) -> &mut dyn L1DataCache {
+        match self {
+            L1Flavor::Baseline(l1) => l1,
+            L1Flavor::Seesaw(l1) => l1.as_mut(),
+            L1Flavor::Vivt(l1) => l1.as_mut(),
+        }
+    }
+
+    pub(crate) fn seesaw(&mut self) -> Option<&mut SeesawL1> {
+        match self {
+            L1Flavor::Seesaw(l1) => Some(l1),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn is_vivt(&self) -> bool {
+        matches!(self, L1Flavor::Vivt(_))
+    }
+}
+
+/// One simulated core. All cores of a run are threads of the same
+/// process: they share the address space and outer hierarchy held by
+/// the uncore, but each owns its TLBs, its L1 (and TFT), its workload
+/// stream, and — when enabled — its own shadow checker and fault
+/// injector, each independently seeded so N-core runs stay
+/// deterministic under the round-robin interleave.
+pub(crate) struct Core {
+    /// Core index (also the directory's requester id).
+    pub id: usize,
+    pub tlbs: TlbHierarchy,
+    pub l1: L1Flavor,
+    pub generator: TraceGenerator,
+    pub hint: SchedulerHint,
+    /// Synthetic probe stream ([`crate::ProbeSource::Synthetic`] only);
+    /// `None` when a real directory generates every probe.
+    pub traffic: Option<CoherenceTraffic>,
+    /// Differential shadow model, when [`crate::RunConfig::checker`] is set.
+    pub checker: Option<ShadowChecker>,
+    /// Seeded fault source, when [`crate::RunConfig::faults`] is set.
+    pub injector: Option<FaultInjector>,
+    /// Instructions executed across every interleave() call, so injector
+    /// schedules and checker diagnostics span warmup + measurement.
+    pub elapsed: u64,
+    /// One-entry last-translation micro-cache in front of
+    /// `space.translate`: the prewarm replay and the per-access shadow
+    /// check walk the same page for many consecutive references, so one
+    /// remembered page-table entry short-circuits the page-table's
+    /// BTreeMap probes. Invalidated on *every* page-table mutation path
+    /// (splinters, promotions, shootdowns, memory pressure) — on every
+    /// core, since the address space is shared — so the differential
+    /// checker still compares against ground truth.
+    pub last_translation: Option<Translation>,
+}
+
+impl Core {
+    /// Translates `va` through the one-entry last-translation micro-cache.
+    ///
+    /// Workload traces have strong page locality, so consecutive
+    /// references usually land in the page the previous one resolved;
+    /// when they do, the physical address is synthesized from the cached
+    /// [`Translation`] without walking the page-table maps. The cached
+    /// entry is dropped on every page-table mutation so the answer is
+    /// always what `space.translate` would return — the shadow checker
+    /// compares against exactly this value.
+    #[inline]
+    pub fn translate_cached(&mut self, space: &AddressSpace, va: VirtAddr) -> Option<Translation> {
+        if let Some(t) = self.last_translation {
+            let base = t.vpage.base().raw();
+            if va.raw().wrapping_sub(base) < t.vpage.size().bytes() {
+                return Some(Translation {
+                    pa: PhysAddr::new(t.frame.base().raw() + (va.raw() - base)),
+                    ..t
+                });
+            }
+        }
+        let t = space.translate(va)?;
+        self.last_translation = Some(t);
+        Some(t)
+    }
+}

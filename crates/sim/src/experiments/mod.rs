@@ -15,6 +15,7 @@ mod fig12;
 mod fig13;
 mod fig14;
 mod fig15;
+mod multicore;
 mod partitions;
 mod scheduler;
 mod tables;
@@ -31,6 +32,9 @@ pub use fig12::{fig12, fig12_table, Fig12Row};
 pub use fig13::{fig13, fig13_table, Fig13Row};
 pub use fig14::{fig14, fig14_table, Fig14Row};
 pub use fig15::{fig15, fig15_table, Fig15Row};
+pub use multicore::{
+    multicore_sweep, multicore_table, MulticoreRow, CORE_COUNTS, MULTICORE_WORKLOADS,
+};
 pub use partitions::{partition_ablation, partition_table, valid_partitioning, PartitionRow};
 pub use scheduler::{scheduler_ablation, scheduler_table, SchedulerRow, MEMHOG_LEVELS, SQUASH_COSTS};
 pub use tables::{table1, table1_table, table2, table3, table3_table, Table1Row, Table3Row};

@@ -42,18 +42,21 @@
 
 mod chart;
 mod config;
+mod core;
 mod error;
 pub mod experiments;
 mod report;
 pub mod runner;
 mod stats;
 mod system;
+mod uncore;
 
-pub use config::{CpuKind, Frequency, L1DesignKind, RunConfig, SchedulerHintPolicy};
+pub use config::{CpuKind, Frequency, L1DesignKind, ProbeSource, RunConfig, SchedulerHintPolicy};
 pub use chart::BarChart;
 pub use error::SimError;
 pub use report::Table;
 pub use runner::{CellRecord, MemoStats, Plan, PlanRun};
 pub use seesaw_check::{CheckerSummary, FaultConfig, InjectionStats, Violation};
-pub use stats::{RunResult, Sample, Summary};
+pub use seesaw_coherence::{CoherenceMode, CoherenceStats};
+pub use stats::{CoreResult, RunResult, Sample, Summary};
 pub use system::System;

@@ -2,6 +2,7 @@
 
 use seesaw_cache::CacheStats;
 use seesaw_check::{CheckerSummary, InjectionStats};
+use seesaw_coherence::CoherenceStats;
 use seesaw_core::{SeesawStats, TftStats};
 use seesaw_cpu::RunTotals;
 use seesaw_energy::EnergyBreakdown;
@@ -110,6 +111,47 @@ pub struct RunResult {
     pub metrics: MetricsRegistry,
     /// Captured event trace, when [`crate::RunConfig::trace`] was set.
     pub trace: Option<TraceData>,
+    /// Coherence-substrate counters, when a real directory (or snoopy
+    /// bus) generated the probes ([`crate::ProbeSource::Coherence`]).
+    pub coherence: Option<CoherenceStats>,
+    /// Per-core measured-window results, one entry per core (a single
+    /// entry for `cores = 1`). The top-level fields above are the
+    /// fieldwise aggregates of these.
+    pub cores: Vec<CoreResult>,
+}
+
+/// One core's slice of a run: measured-window deltas of everything that
+/// core privately owns.
+#[derive(Debug, Clone)]
+pub struct CoreResult {
+    /// Core index (also the coherence directory's requester id).
+    pub core: usize,
+    /// This core's timing totals.
+    pub totals: RunTotals,
+    /// This core's L1 counters.
+    pub l1: CacheStats,
+    /// This core's L1 TLB counters.
+    pub tlb_l1: TlbStats,
+    /// Page walks this core performed.
+    pub walks: u64,
+    /// SEESAW counters (zeroes for baseline designs).
+    pub seesaw: SeesawStats,
+    /// TFT counters (zeroes for baseline designs).
+    pub tft: TftStats,
+    /// Coherence probes delivered to this core's L1 (from peers under
+    /// [`crate::ProbeSource::Coherence`], synthetic otherwise).
+    pub coherence_probes: u64,
+    /// Fraction of this core's references that touched superpage-backed
+    /// data.
+    pub superpage_ref_fraction: f64,
+    /// Way-prediction accuracy, if a predictor was attached.
+    pub way_prediction_accuracy: Option<f64>,
+    /// This core's injector counts, when faults were enabled.
+    pub faults: Option<InjectionStats>,
+    /// This core's shadow-checker summary, when the checker was enabled.
+    pub checker: Option<CheckerSummary>,
+    /// This core's windowed telemetry (empty unless sampling was enabled).
+    pub samples: Vec<Sample>,
 }
 
 impl RunResult {

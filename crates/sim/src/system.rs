@@ -1,32 +1,50 @@
-//! Full-system assembly: OS + TLBs + L1 design + outer hierarchy +
-//! coherence + energy + CPU timing.
+//! Full-system assembly: N cores (TLBs + L1 design + workload stream)
+//! round-robin interleaved against one uncore (OS + outer hierarchy +
+//! coherence + energy), driven by the CPU timing models.
 
-use seesaw_cache::{CacheConfig, IndexPolicy, MemoryLevel, OuterHierarchy, OuterHierarchyConfig};
-use seesaw_check::{AccessCheck, CheckEvent, FaultInjector, FaultKind, ShadowChecker};
-use seesaw_coherence::{CoherenceTraffic, CoherenceTrafficConfig};
-use seesaw_core::{
-    BaselineL1, HitTimeAssumption, L1DataCache, L1Request, L1Timing, SchedulerHint, SeesawConfig,
-    SeesawL1, SeesawStats, TftStats, VivtL1,
+use seesaw_cache::{
+    CacheConfig, CacheStats, IndexPolicy, MemoryLevel, OuterHierarchy, OuterHierarchyConfig,
 };
-use seesaw_cpu::{CpuModel, InOrderCpu, OooCpu};
+use seesaw_check::{
+    AccessCheck, CheckEvent, CheckerSummary, FaultConfig, FaultInjector, FaultKind,
+    InjectionStats, ShadowChecker, ViolationCounters,
+};
+use seesaw_coherence::{
+    CoherenceMode, CoherenceTraffic, CoherenceTrafficConfig, DirectoryController,
+};
+use seesaw_core::{
+    BaselineL1, HitTimeAssumption, L1Request, L1Timing, SchedulerHint, SeesawConfig, SeesawL1,
+    SeesawStats, TftStats, VivtL1,
+};
+use seesaw_cpu::{CpuModel, InOrderCpu, OooCpu, RunTotals};
 use seesaw_energy::{EnergyAccount, EnergyModel, SramModel};
 use seesaw_mem::{
     AddressSpace, MemError, Memhog, MemhogConfig, PageSize, PageTableOp, PhysAddr, PhysicalMemory,
-    ThpPolicy, Translation, VirtAddr, Vma,
+    ThpPolicy, VirtAddr,
 };
-use seesaw_tlb::{TlbHierarchy, TlbHierarchyConfig, TlbLevel};
+use seesaw_tlb::{TlbHierarchy, TlbHierarchyConfig, TlbLevel, TlbStats, WalkerStats};
 use seesaw_trace::{
     Collect, EventKind, Log2Histogram, MetricsRegistry, NullSink, RingSink, Sink, TranslationLevel,
 };
 use seesaw_workloads::TraceGenerator;
 
-use crate::{CpuKind, L1DesignKind, RunConfig, RunResult, SchedulerHintPolicy, SimError};
+use crate::core::{Core, L1Flavor};
+use crate::uncore::Uncore;
+use crate::{
+    CoreResult, CpuKind, L1DesignKind, ProbeSource, RunConfig, RunResult, SchedulerHintPolicy,
+    SimError,
+};
 
 /// Events retained by the traced-run ring (the exact [`seesaw_trace::EventCounts`]
 /// mirror counts every event regardless, so reconciliation survives wrap).
 const TRACE_RING_CAPACITY: usize = 1 << 18;
 
-/// Per-window event counters.
+/// Weyl increment: decorrelates per-core seeds while leaving core 0 on
+/// the run's base seed, so `cores = 1` replays the single-core stream
+/// bit-for-bit.
+const CORE_SEED_STRIDE: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Per-core per-window event counters.
 #[derive(Debug, Default)]
 struct Counters {
     super_refs: u64,
@@ -50,9 +68,9 @@ struct SampleWindow {
 }
 
 impl SampleWindow {
-    fn capture(system: &mut System, cpu: &dyn CpuModel) -> SampleWindow {
-        let l1 = system.l1.as_dyn().cache_stats();
-        let tft = match &mut system.l1 {
+    fn capture<C: CpuModel>(core: &mut Core, cpu: &C) -> SampleWindow {
+        let l1 = core.l1.as_dyn().cache_stats();
+        let tft = match &mut core.l1 {
             L1Flavor::Seesaw(s) => s.tft_stats(),
             _ => TftStats::default(),
         };
@@ -64,7 +82,7 @@ impl SampleWindow {
             l1_ways_probed: l1.ways_probed,
             tft_hits: tft.hits,
             tft_misses: tft.misses,
-            walks: system.tlbs.walker_stats().walks,
+            walks: core.tlbs.walker_stats().walks,
         }
     }
 
@@ -94,32 +112,97 @@ impl SampleWindow {
     }
 }
 
-/// The L1 design under test, unified for the run loop.
-#[allow(clippy::large_enum_variant)]
-enum L1Flavor {
-    Baseline(BaselineL1),
-    Seesaw(Box<SeesawL1>),
-    Vivt(Box<VivtL1>),
+/// One L1 instance plus the timing facts the run loop needs about it.
+struct L1Build {
+    l1: L1Flavor,
+    timing: L1Timing,
+    total_ways: usize,
+    serializes: bool,
+    /// Ways one coherence probe reads in this design (SEESAW probes a
+    /// single partition, §IV-C1; everything else reads the full set).
+    probe_ways: usize,
 }
 
-impl L1Flavor {
-    fn as_dyn(&mut self) -> &mut dyn L1DataCache {
-        match self {
-            L1Flavor::Baseline(l1) => l1,
-            L1Flavor::Seesaw(l1) => l1.as_mut(),
-            L1Flavor::Vivt(l1) => l1.as_mut(),
+/// Builds one L1 instance of the configured design.
+fn build_l1(config: &RunConfig, sram: &SramModel) -> L1Build {
+    let ghz = config.frequency.ghz();
+    let size_kb = config.l1_size_kb;
+    let baseline_ways = config.baseline_ways();
+    match config.design {
+        L1DesignKind::BaselineVipt | L1DesignKind::BaselineWithWayPrediction => {
+            let slow = sram.full_lookup_cycles(size_kb, baseline_ways, ghz);
+            let timing = L1Timing {
+                fast_cycles: slow,
+                slow_cycles: slow,
+            };
+            let cache = CacheConfig::new(size_kb << 10, baseline_ways, 64, IndexPolicy::Vipt);
+            let wp = config.design == L1DesignKind::BaselineWithWayPrediction;
+            L1Build {
+                l1: L1Flavor::Baseline(BaselineL1::new(cache, timing, wp)),
+                timing,
+                total_ways: baseline_ways,
+                serializes: false,
+                probe_ways: baseline_ways,
+            }
         }
-    }
-
-    fn seesaw(&mut self) -> Option<&mut SeesawL1> {
-        match self {
-            L1Flavor::Seesaw(l1) => Some(l1),
-            _ => None,
+        L1DesignKind::Seesaw | L1DesignKind::SeesawWithWayPrediction => {
+            let mut seesaw_cfg = SeesawConfig::with_size_kb(size_kb)
+                .with_tft_entries(config.tft_entries)
+                .with_insertion(config.insertion);
+            if let Some(partitions) = config.seesaw_partitions {
+                seesaw_cfg = seesaw_cfg.with_partitions(partitions);
+            }
+            if config.design == L1DesignKind::SeesawWithWayPrediction {
+                seesaw_cfg = seesaw_cfg.with_way_prediction();
+            }
+            let timing = L1Timing {
+                fast_cycles: sram.partition_lookup_cycles(
+                    size_kb,
+                    baseline_ways,
+                    seesaw_cfg.partitions,
+                    ghz,
+                ),
+                slow_cycles: sram.full_lookup_cycles(size_kb, baseline_ways, ghz),
+            };
+            let probe_ways = (baseline_ways / seesaw_cfg.partitions).max(1);
+            L1Build {
+                l1: L1Flavor::Seesaw(Box::new(SeesawL1::new(seesaw_cfg, timing))),
+                timing,
+                total_ways: baseline_ways,
+                serializes: false,
+                probe_ways,
+            }
         }
-    }
-
-    fn is_vivt(&self) -> bool {
-        matches!(self, L1Flavor::Vivt(_))
+        L1DesignKind::Pipt { ways } => {
+            let slow = sram.full_lookup_cycles(size_kb, ways, ghz);
+            let timing = L1Timing {
+                fast_cycles: slow,
+                slow_cycles: slow,
+            };
+            let cache = CacheConfig::new(size_kb << 10, ways, 64, IndexPolicy::Pipt);
+            L1Build {
+                l1: L1Flavor::Baseline(BaselineL1::new(cache, timing, false)),
+                timing,
+                total_ways: ways,
+                serializes: true,
+                probe_ways: ways,
+            }
+        }
+        L1DesignKind::Vivt { ways } => {
+            let fast = sram.full_lookup_cycles(size_kb, ways, ghz);
+            let timing = L1Timing {
+                fast_cycles: fast,
+                // The slow path is a synonym remap: two probe rounds.
+                slow_cycles: fast * 2,
+            };
+            L1Build {
+                l1: L1Flavor::Vivt(Box::new(VivtL1::new(size_kb << 10, ways, timing))),
+                timing,
+                total_ways: ways,
+                serializes: false,
+                probe_ways: ways,
+            }
+        }
     }
 }
 
@@ -128,37 +211,10 @@ impl L1Flavor {
 /// See the crate-level example for typical use.
 pub struct System {
     config: RunConfig,
-    pmem: PhysicalMemory,
-    space: AddressSpace,
-    vma: Vma,
-    tlbs: TlbHierarchy,
-    l1: L1Flavor,
     timing: L1Timing,
-    outer: OuterHierarchy,
-    traffic: CoherenceTraffic,
-    account: EnergyAccount,
-    generator: TraceGenerator,
-    hint: SchedulerHint,
     serializes_translation: bool,
-    /// Differential shadow model, when [`RunConfig::checker`] is set.
-    checker: Option<ShadowChecker>,
-    /// Seeded fault source, when [`RunConfig::faults`] is set.
-    injector: Option<FaultInjector>,
-    /// Memhog instances holding injected memory pressure (LIFO).
-    pressure_hogs: Vec<Memhog>,
-    /// Injected promotions that failed and degraded to base pages.
-    run_demotions: u64,
-    /// Instructions executed across every simulate() call, so injector
-    /// schedules and checker diagnostics span warmup + measurement.
-    elapsed: u64,
-    /// One-entry last-translation micro-cache in front of
-    /// `space.translate`: the prewarm replay and the per-access shadow
-    /// check walk the same page for many consecutive references, so one
-    /// remembered page-table entry short-circuits the page-table's
-    /// BTreeMap probes. Invalidated on *every* page-table mutation path
-    /// (splinters, promotions, shootdowns, memory pressure) so the
-    /// differential checker still compares against ground truth.
-    last_translation: Option<Translation>,
+    cores: Vec<Core>,
+    uncore: Uncore,
 }
 
 impl System {
@@ -167,6 +223,13 @@ impl System {
     /// workload's footprint is populated through the THP policy — so
     /// superpage coverage emerges from the OS model, as on the paper's
     /// long-uptime servers (§III-C, §V).
+    ///
+    /// With [`RunConfig::cores`] > 1, N identical cores are built, each
+    /// with its own TLBs, L1, and independently-seeded workload stream
+    /// (all threads of one process: the address space is shared), and —
+    /// under [`ProbeSource::Coherence`] — a functional MOESI directory
+    /// (or snoopy bus, per [`RunConfig::snoopy`]) generates every
+    /// coherence probe from real peer misses and upgrades.
     ///
     /// # Errors
     /// Returns [`SimError::Mem`] if physical memory cannot back the
@@ -218,152 +281,94 @@ impl System {
         noise.absorb_relocations(&relocations);
         space.drain_ops(); // initial mappings carry no stale state
 
-        let tlb_config = Self::tlb_config(config);
-        let tlbs = TlbHierarchy::new(tlb_config);
-
         let sram = SramModel::tsmc28_scaled_22nm();
-        let ghz = config.frequency.ghz();
-        let size_kb = config.l1_size_kb;
-        let baseline_ways = config.baseline_ways();
-        let (l1, timing, total_ways, serializes) = match config.design {
-            L1DesignKind::BaselineVipt | L1DesignKind::BaselineWithWayPrediction => {
-                let slow = sram.full_lookup_cycles(size_kb, baseline_ways, ghz);
-                let timing = L1Timing {
-                    fast_cycles: slow,
-                    slow_cycles: slow,
-                };
-                let cache =
-                    CacheConfig::new(size_kb << 10, baseline_ways, 64, IndexPolicy::Vipt);
-                let wp = config.design == L1DesignKind::BaselineWithWayPrediction;
-                (
-                    L1Flavor::Baseline(BaselineL1::new(cache, timing, wp)),
-                    timing,
-                    baseline_ways,
-                    false,
-                )
-            }
-            L1DesignKind::Seesaw | L1DesignKind::SeesawWithWayPrediction => {
-                let mut seesaw_cfg = SeesawConfig::with_size_kb(size_kb)
-                    .with_tft_entries(config.tft_entries)
-                    .with_insertion(config.insertion);
-                if let Some(partitions) = config.seesaw_partitions {
-                    seesaw_cfg = seesaw_cfg.with_partitions(partitions);
-                }
-                if config.design == L1DesignKind::SeesawWithWayPrediction {
-                    seesaw_cfg = seesaw_cfg.with_way_prediction();
-                }
-                let timing = L1Timing {
-                    fast_cycles: sram.partition_lookup_cycles(
-                        size_kb,
-                        baseline_ways,
-                        seesaw_cfg.partitions,
-                        ghz,
-                    ),
-                    slow_cycles: sram.full_lookup_cycles(size_kb, baseline_ways, ghz),
-                };
-                (
-                    L1Flavor::Seesaw(Box::new(SeesawL1::new(seesaw_cfg, timing))),
-                    timing,
-                    baseline_ways,
-                    false,
-                )
-            }
-            L1DesignKind::Pipt { ways } => {
-                let slow = sram.full_lookup_cycles(size_kb, ways, ghz);
-                let timing = L1Timing {
-                    fast_cycles: slow,
-                    slow_cycles: slow,
-                };
-                let cache = CacheConfig::new(size_kb << 10, ways, 64, IndexPolicy::Pipt);
-                (
-                    L1Flavor::Baseline(BaselineL1::new(cache, timing, false)),
-                    timing,
-                    ways,
-                    true,
-                )
-            }
-            L1DesignKind::Vivt { ways } => {
-                let fast = sram.full_lookup_cycles(size_kb, ways, ghz);
-                let timing = L1Timing {
-                    fast_cycles: fast,
-                    // The slow path is a synonym remap: two probe rounds.
-                    slow_cycles: fast * 2,
-                };
-                (
-                    L1Flavor::Vivt(Box::new(VivtL1::new(size_kb << 10, ways, timing))),
-                    timing,
-                    ways,
-                    false,
-                )
-            }
+        let n = config.cores.max(1);
+        let mut cores = Vec::with_capacity(n);
+        let mut timing = L1Timing {
+            fast_cycles: 0,
+            slow_cycles: 0,
         };
+        let mut total_ways = 0;
+        let mut serializes = false;
+        let mut probe_ways = 1;
+        for id in 0..n {
+            let built = build_l1(config, &sram);
+            timing = built.timing;
+            total_ways = built.total_ways;
+            serializes = built.serializes;
+            probe_ways = built.probe_ways;
+            // Each core streams its own workload instance, decorrelated
+            // by a Weyl stride; core 0 keeps the run's base seed so the
+            // single-core stream is unchanged by the refactor.
+            let lane = (id as u64).wrapping_mul(CORE_SEED_STRIDE);
+            // Synthetic probe stream only when no directory generates the
+            // real thing; snoopy protocols broadcast, multiplying
+            // delivered probes (§VI-B).
+            let traffic = (config.probe_source == ProbeSource::Synthetic).then(|| {
+                let snoop_factor = if config.snoopy { 3.0 } else { 1.0 };
+                CoherenceTraffic::new(CoherenceTrafficConfig {
+                    probes_per_kilo_instruction: config.workload.coherence_pki * snoop_factor,
+                    invalidate_fraction: 0.3,
+                    targeted_fraction: 0.6,
+                    seed: config.seed ^ 0xc0c0 ^ lane,
+                })
+            });
+            cores.push(Core {
+                id,
+                tlbs: TlbHierarchy::new(Self::tlb_config(config)),
+                l1: built.l1,
+                generator: TraceGenerator::new(&config.workload, config.seed ^ lane),
+                hint: SchedulerHint::default(),
+                traffic,
+                checker: config.checker.then(ShadowChecker::new),
+                injector: config.faults.map(|f| {
+                    FaultInjector::new(FaultConfig {
+                        seed: f.seed ^ lane,
+                        ..f
+                    })
+                }),
+                elapsed: 0,
+                last_translation: None,
+            });
+        }
 
-        let outer_cfg = OuterHierarchyConfig::table_ii(ghz);
+        // The real coherence substrate: a functional model of every
+        // core's L1 tag state under MOESI, sized like the timing L1s,
+        // probing one partition per delivery for SEESAW designs.
+        let coherence = (config.probe_source == ProbeSource::Coherence).then(|| {
+            let geometry =
+                CacheConfig::new(config.l1_size_kb << 10, total_ways, 64, IndexPolicy::Vipt);
+            let mode = if config.snoopy {
+                CoherenceMode::Snoopy
+            } else {
+                CoherenceMode::Directory
+            };
+            DirectoryController::new(n, geometry, mode, probe_ways)
+        });
+
+        let outer_cfg = OuterHierarchyConfig::table_ii(config.frequency.ghz());
         let outer = match config.prefetch_degree {
             Some(degree) => OuterHierarchy::with_prefetcher(outer_cfg, degree),
             None => OuterHierarchy::new(outer_cfg),
         };
-
-        // Coherence probe stream; snoopy protocols broadcast, multiplying
-        // delivered probes (§VI-B).
-        let snoop_factor = if config.snoopy { 3.0 } else { 1.0 };
-        let traffic = CoherenceTraffic::new(CoherenceTrafficConfig {
-            probes_per_kilo_instruction: config.workload.coherence_pki * snoop_factor,
-            invalidate_fraction: 0.3,
-            targeted_fraction: 0.6,
-            seed: config.seed ^ 0xc0c0,
-        });
-
-        let account = EnergyAccount::new(EnergyModel::new(sram), size_kb, total_ways);
-        let generator = TraceGenerator::new(&config.workload, config.seed);
+        let account = EnergyAccount::new(EnergyModel::new(sram), config.l1_size_kb, total_ways);
 
         Ok(System {
             config: config.clone(),
-            pmem,
-            space,
-            vma,
-            tlbs,
-            l1,
             timing,
-            outer,
-            traffic,
-            account,
-            generator,
-            hint: SchedulerHint::default(),
             serializes_translation: serializes,
-            checker: config.checker.then(ShadowChecker::new),
-            injector: config.faults.map(FaultInjector::new),
-            pressure_hogs: Vec::new(),
-            run_demotions: 0,
-            elapsed: 0,
-            last_translation: None,
+            cores,
+            uncore: Uncore {
+                pmem,
+                space,
+                vma,
+                outer,
+                account,
+                coherence,
+                pressure_hogs: Vec::new(),
+                run_demotions: 0,
+            },
         })
-    }
-
-    /// Translates `va` through the one-entry last-translation micro-cache.
-    ///
-    /// Workload traces have strong page locality, so consecutive
-    /// references usually land in the page the previous one resolved;
-    /// when they do, the physical address is synthesized from the cached
-    /// [`Translation`] without walking the page-table maps. The cached
-    /// entry is dropped on every page-table mutation (see
-    /// [`System::apply_page_op`] and [`System::apply_fault`]) so the
-    /// answer is always what `space.translate` would return — the shadow
-    /// checker compares against exactly this value.
-    #[inline]
-    fn translate_cached(&mut self, va: VirtAddr) -> Option<Translation> {
-        if let Some(t) = self.last_translation {
-            let base = t.vpage.base().raw();
-            if va.raw().wrapping_sub(base) < t.vpage.size().bytes() {
-                return Some(Translation {
-                    pa: PhysAddr::new(t.frame.base().raw() + (va.raw() - base)),
-                    ..t
-                });
-            }
-        }
-        let t = self.space.translate(va)?;
-        self.last_translation = Some(t);
-        Some(t)
     }
 
     /// Runs the configured instruction budget and reports the results.
@@ -373,7 +378,8 @@ impl System {
     /// without being measured — the paper's 10-billion-instruction traces
     /// make cold-start effects negligible, so measuring them here would
     /// distort every comparison — followed by the measured window, whose
-    /// statistics are reported as deltas.
+    /// statistics are reported as deltas. Multi-core runs interleave the
+    /// cores round-robin, one reference at a time, through both phases.
     ///
     /// # Errors
     /// Returns [`SimError::PageFault`] if the workload touches unmapped
@@ -396,19 +402,23 @@ impl System {
     // locality for the (hot) untraced path.
     #[inline(never)]
     fn run_with_sink<S: Sink>(mut self, mut sink: S) -> Result<RunResult, SimError> {
-        // Functional pre-warm: replay the upcoming reference stream
-        // against the outer hierarchy only (no timing, no energy). The
-        // paper measures windows of traces that have been running for
-        // billions of instructions, so the L2/LLC contents are in steady
-        // state; without this, cold DRAM traffic would dominate the
-        // energy of every design equally and mask the L1-level effects.
-        let mut prewarm = self.generator.clone();
+        let n = self.cores.len();
+        // Functional pre-warm: replay each core's upcoming reference
+        // stream against the outer hierarchy only (no timing, no energy,
+        // no directory). The paper measures windows of traces that have
+        // been running for billions of instructions, so the L2/LLC
+        // contents are in steady state; without this, cold DRAM traffic
+        // would dominate the energy of every design equally and mask the
+        // L1-level effects.
         let prewarm_refs = self.config.instructions + self.config.instructions / 2;
-        for _ in 0..prewarm_refs {
-            let r = prewarm.next_ref();
-            let va = self.vma.base().offset(r.offset);
-            if let Some(t) = self.translate_cached(va) {
-                self.outer.access(t.pa.raw() / 64, r.is_write);
+        for i in 0..n {
+            let mut prewarm = self.cores[i].generator.clone();
+            for _ in 0..prewarm_refs {
+                let r = prewarm.next_ref();
+                let va = self.uncore.vma.base().offset(r.offset);
+                if let Some(t) = self.cores[i].translate_cached(&self.uncore.space, va) {
+                    self.uncore.outer.access(t.pa.raw() / 64, r.is_write);
+                }
             }
         }
 
@@ -416,69 +426,189 @@ impl System {
             .config
             .warmup_instructions
             .unwrap_or((self.config.instructions / 3).min(500_000));
-        // Warmup: same loop, throwaway core, no energy accounting, and
+        // Warmup: same loop, throwaway cores, no energy accounting, and
         // never traced — the measured window's events must reconcile with
-        // the measured window's stat deltas.
-        let mut warm_cpu = InOrderCpu::atom();
-        let mut scratch = Counters::default();
-        self.simulate(warmup, &mut warm_cpu, false, &mut scratch, &mut NullSink)?;
+        // the measured window's stat deltas. Directory state does warm:
+        // probes flow between cores, they just go uncharged.
+        let mut warm_cpus: Vec<InOrderCpu> = (0..n).map(|_| InOrderCpu::atom()).collect();
+        let mut scratch: Vec<Counters> = (0..n).map(|_| Counters::default()).collect();
+        interleave(
+            &self.config,
+            self.timing,
+            self.serializes_translation,
+            &mut self.cores,
+            &mut self.uncore,
+            &mut warm_cpus,
+            warmup,
+            false,
+            &mut scratch,
+            &mut NullSink,
+        )?;
 
-        // Snapshot counters at the start of the measured window.
-        let l1_before = self.l1.as_dyn().cache_stats();
-        let tlb_before = self.tlbs.l1_stats();
-        let walker_before = self.tlbs.walker_stats();
-        let walk_hist_before = self.tlbs.walker_latency_hist();
-        let (seesaw_before, tft_before) = match &mut self.l1 {
-            L1Flavor::Seesaw(l) => (l.seesaw_stats(), l.tft_stats()),
-            _ => (SeesawStats::default(), TftStats::default()),
-        };
+        // Snapshot per-core counters at the start of the measured window.
+        struct CoreBefore {
+            l1: CacheStats,
+            tlb: TlbStats,
+            walker: WalkerStats,
+            walk_hist: Log2Histogram,
+            seesaw: SeesawStats,
+            tft: TftStats,
+        }
+        let before: Vec<CoreBefore> = self
+            .cores
+            .iter_mut()
+            .map(|core| {
+                let (seesaw, tft) = match &mut core.l1 {
+                    L1Flavor::Seesaw(l) => (l.seesaw_stats(), l.tft_stats()),
+                    _ => (SeesawStats::default(), TftStats::default()),
+                };
+                CoreBefore {
+                    l1: core.l1.as_dyn().cache_stats(),
+                    tlb: core.tlbs.l1_stats(),
+                    walker: core.tlbs.walker_stats(),
+                    walk_hist: core.tlbs.walker_latency_hist(),
+                    seesaw,
+                    tft,
+                }
+            })
+            .collect();
 
         // Monomorphized per core model: the inner loop calls `retire`
         // directly instead of through a vtable.
-        let mut counters = Counters::default();
-        let totals = match self.config.cpu {
+        let mut counters: Vec<Counters> = (0..n).map(|_| Counters::default()).collect();
+        let per_core_totals: Vec<RunTotals> = match self.config.cpu {
             CpuKind::InOrder => {
-                let mut cpu = InOrderCpu::atom();
-                self.simulate(
+                let mut cpus: Vec<InOrderCpu> = (0..n).map(|_| InOrderCpu::atom()).collect();
+                interleave(
+                    &self.config,
+                    self.timing,
+                    self.serializes_translation,
+                    &mut self.cores,
+                    &mut self.uncore,
+                    &mut cpus,
                     self.config.instructions,
-                    &mut cpu,
                     true,
                     &mut counters,
                     &mut sink,
                 )?;
-                cpu.totals()
+                cpus.iter().map(CpuModel::totals).collect()
             }
             CpuKind::OutOfOrder => {
-                let mut cpu = OooCpu::sandybridge();
-                self.simulate(
+                let mut cpus: Vec<OooCpu> = (0..n).map(|_| OooCpu::sandybridge()).collect();
+                interleave(
+                    &self.config,
+                    self.timing,
+                    self.serializes_translation,
+                    &mut self.cores,
+                    &mut self.uncore,
+                    &mut cpus,
                     self.config.instructions,
-                    &mut cpu,
                     true,
                     &mut counters,
                     &mut sink,
                 )?;
-                cpu.totals()
+                cpus.iter().map(CpuModel::totals).collect()
             }
         };
-        let runtime_ns = totals.cycles as f64 / self.config.frequency.ghz();
-        let l1_stats = self.l1.as_dyn().cache_stats().delta(&l1_before);
-        let (seesaw_stats, tft_stats, wp_acc) = match &mut self.l1 {
-            L1Flavor::Seesaw(s) => (
-                s.seesaw_stats().delta(&seesaw_before),
-                s.tft_stats().delta(&tft_before),
-                s.way_prediction_accuracy(),
-            ),
-            L1Flavor::Baseline(b) => (
-                SeesawStats::default(),
-                TftStats::default(),
-                b.way_prediction_accuracy(),
-            ),
-            L1Flavor::Vivt(_) => (SeesawStats::default(), TftStats::default(), None),
+
+        // The run's makespan is the slowest core; work sums across cores.
+        let totals = RunTotals {
+            cycles: per_core_totals.iter().map(|t| t.cycles).max().unwrap_or(0),
+            instructions: per_core_totals.iter().map(|t| t.instructions).sum(),
+            squashes: per_core_totals.iter().map(|t| t.squashes).sum(),
         };
-        let tlb_stats = self.tlbs.l1_stats().delta(&tlb_before);
-        let walker_stats = self.tlbs.walker_stats().delta(&walker_before);
-        let walk_latency = self.tlbs.walker_latency_hist().delta(&walk_hist_before);
-        let energy = self.account.finish(runtime_ns);
+        let runtime_ns = totals.cycles as f64 / self.config.frequency.ghz();
+
+        // Per-core measured-window deltas, then fieldwise aggregates
+        // (every aggregate reduces to the lone core's delta when n = 1).
+        let mut l1_stats = CacheStats::default();
+        let mut tlb_stats = TlbStats::default();
+        let mut walker_total = WalkerStats::default();
+        let mut seesaw_stats = SeesawStats::default();
+        let mut tft_stats = TftStats::default();
+        let mut walk_latency: Option<Log2Histogram> = None;
+        let mut miss_penalty: Option<Log2Histogram> = None;
+        let mut core_results: Vec<CoreResult> = Vec::with_capacity(n);
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let b = &before[i];
+            let l1 = core.l1.as_dyn().cache_stats().delta(&b.l1);
+            let (seesaw, tft, wp_acc) = match &mut core.l1 {
+                L1Flavor::Seesaw(s) => (
+                    s.seesaw_stats().delta(&b.seesaw),
+                    s.tft_stats().delta(&b.tft),
+                    s.way_prediction_accuracy(),
+                ),
+                L1Flavor::Baseline(bl) => (
+                    SeesawStats::default(),
+                    TftStats::default(),
+                    bl.way_prediction_accuracy(),
+                ),
+                L1Flavor::Vivt(_) => (SeesawStats::default(), TftStats::default(), None),
+            };
+            let tlb = core.tlbs.l1_stats().delta(&b.tlb);
+            let walker = core.tlbs.walker_stats().delta(&b.walker);
+            let walk_hist = core.tlbs.walker_latency_hist().delta(&b.walk_hist);
+            add_cache(&mut l1_stats, &l1);
+            add_tlb(&mut tlb_stats, &tlb);
+            add_walker(&mut walker_total, &walker);
+            add_seesaw(&mut seesaw_stats, &seesaw);
+            add_tft(&mut tft_stats, &tft);
+            match walk_latency.as_mut() {
+                Some(h) => h.merge(&walk_hist),
+                None => walk_latency = Some(walk_hist),
+            }
+            match miss_penalty.as_mut() {
+                Some(h) => h.merge(&counters[i].miss_penalty),
+                None => miss_penalty = Some(counters[i].miss_penalty),
+            }
+            let ctr = &mut counters[i];
+            core_results.push(CoreResult {
+                core: core.id,
+                totals: per_core_totals[i],
+                l1,
+                tlb_l1: tlb,
+                walks: walker.walks,
+                seesaw,
+                tft,
+                coherence_probes: ctr.coherence_probes,
+                superpage_ref_fraction: if ctr.total_refs == 0 {
+                    0.0
+                } else {
+                    ctr.super_refs as f64 / ctr.total_refs as f64
+                },
+                way_prediction_accuracy: wp_acc,
+                faults: core.injector.as_ref().map(|inj| inj.stats()),
+                checker: core.checker.as_ref().map(|c| c.summary()),
+                samples: std::mem::take(&mut ctr.samples),
+            });
+        }
+        let walk_latency = walk_latency.unwrap_or_default();
+        let miss_penalty = miss_penalty.unwrap_or_default();
+        let super_refs: u64 = counters.iter().map(|c| c.super_refs).sum();
+        let total_refs: u64 = counters.iter().map(|c| c.total_refs).sum();
+        let coherence_probes: u64 = counters.iter().map(|c| c.coherence_probes).sum();
+        let faults = self.config.faults.is_some().then(|| {
+            let mut total = InjectionStats::default();
+            for r in &core_results {
+                if let Some(f) = r.faults.as_ref() {
+                    add_inject(&mut total, f);
+                }
+            }
+            total
+        });
+        let checker = self.config.checker.then(|| {
+            let mut total = CheckerSummary::default();
+            for r in &core_results {
+                if let Some(c) = r.checker.as_ref() {
+                    add_checker(&mut total, c);
+                }
+            }
+            total
+        });
+        let coherence = self.uncore.coherence.as_ref().map(|d| d.stats());
+        // Dynamic energy accumulated globally during the interleave;
+        // leakage charges every L1 instance for the makespan.
+        let energy = self.uncore.account.finish_many(runtime_ns, n as u64);
         let trace = sink.finish();
 
         // One flat namespaced snapshot of every counter (the Collect
@@ -486,37 +616,48 @@ impl System {
         let mut metrics = MetricsRegistry::new();
         totals.collect("cpu", &mut metrics);
         l1_stats.collect("l1", &mut metrics);
-        counters.miss_penalty.collect("l1.miss_penalty", &mut metrics);
+        miss_penalty.collect("l1.miss_penalty", &mut metrics);
         tlb_stats.collect("tlb.l1", &mut metrics);
-        if let Some(l2) = self.tlbs.l2_stats() {
+        if let Some(l2) = self.cores[0].tlbs.l2_stats() {
             l2.collect("tlb.l2", &mut metrics);
         }
-        walker_stats.collect("tlb.walker", &mut metrics);
+        walker_total.collect("tlb.walker", &mut metrics);
         walk_latency.collect("tlb.walk_latency", &mut metrics);
         seesaw_stats.collect("seesaw", &mut metrics);
         tft_stats.collect("tft", &mut metrics);
         energy.collect("energy", &mut metrics);
-        let (l2_cache, llc, dram_accesses, writebacks_received) = self.outer.stats();
+        let (l2_cache, llc, dram_accesses, writebacks_received) = self.uncore.outer.stats();
         l2_cache.collect("outer.l2", &mut metrics);
         llc.collect("outer.llc", &mut metrics);
         metrics.set_u64("outer.dram_accesses", dram_accesses);
         metrics.set_u64("outer.writebacks_received", writebacks_received);
-        if let Some(pf) = self.outer.prefetch_stats() {
+        if let Some(pf) = self.uncore.outer.prefetch_stats() {
             pf.collect("outer.prefetch", &mut metrics);
         }
-        self.space.thp_stats().collect("os.thp", &mut metrics);
-        self.pmem.stats().collect("os.buddy", &mut metrics);
-        if let L1Flavor::Vivt(v) = &self.l1 {
+        self.uncore.space.thp_stats().collect("os.thp", &mut metrics);
+        self.uncore.pmem.stats().collect("os.buddy", &mut metrics);
+        if let L1Flavor::Vivt(v) = &self.cores[0].l1 {
             v.synonym_stats().collect("vivt", &mut metrics);
         }
-        if let Some(injector) = self.injector.as_ref() {
-            injector.stats().collect("faults", &mut metrics);
+        if let Some(f) = faults.as_ref() {
+            f.collect("faults", &mut metrics);
         }
-        if let Some(checker) = self.checker.as_ref() {
-            checker.summary().collect("checker", &mut metrics);
+        if let Some(c) = checker.as_ref() {
+            c.collect("checker", &mut metrics);
         }
-        metrics.set_u64("coherence.probes", counters.coherence_probes);
-        metrics.set_f64("os.superpage_coverage", self.space.superpage_coverage());
+        if let Some(c) = coherence.as_ref() {
+            c.collect("coherence", &mut metrics);
+        }
+        metrics.set_u64("coherence.probes", coherence_probes);
+        metrics.set_f64("os.superpage_coverage", self.uncore.space.superpage_coverage());
+        if n > 1 {
+            for r in &core_results {
+                let p = format!("core{}", r.core);
+                r.totals.collect(&format!("{p}.cpu"), &mut metrics);
+                r.l1.collect(&format!("{p}.l1"), &mut metrics);
+                metrics.set_u64(&format!("{p}.coherence_probes"), r.coherence_probes);
+            }
+        }
         if let Some(t) = trace.as_ref() {
             t.counts.collect("trace.events", &mut metrics);
             metrics.set_u64("trace.dropped", t.dropped);
@@ -529,372 +670,35 @@ impl System {
             l1: l1_stats,
             l1_mpki: l1_stats.mpki(totals.instructions),
             tlb_l1: tlb_stats,
-            walks: walker_stats.walks,
+            walks: walker_total.walks,
             seesaw: seesaw_stats,
             tft: tft_stats,
-            superpage_coverage: self.space.superpage_coverage(),
-            superpage_ref_fraction: if counters.total_refs == 0 {
+            superpage_coverage: self.uncore.space.superpage_coverage(),
+            superpage_ref_fraction: if total_refs == 0 {
                 0.0
             } else {
-                counters.super_refs as f64 / counters.total_refs as f64
+                super_refs as f64 / total_refs as f64
             },
-            way_prediction_accuracy: wp_acc,
-            coherence_probes: counters.coherence_probes,
-            demotions: self.space.thp_stats().demoted_slices + self.run_demotions,
-            faults: self.injector.as_ref().map(|i| i.stats()),
-            checker: self.checker.as_ref().map(|c| c.summary()),
-            samples: counters.samples,
+            way_prediction_accuracy: core_results[0].way_prediction_accuracy,
+            coherence_probes,
+            demotions: self.uncore.space.thp_stats().demoted_slices + self.uncore.run_demotions,
+            faults,
+            checker,
+            samples: core_results[0].samples.clone(),
             walk_latency,
-            miss_penalty: counters.miss_penalty,
+            miss_penalty,
             metrics,
             trace,
+            coherence,
+            cores: core_results,
         };
         Ok(result)
-    }
-
-    /// Runs `instructions` instructions through the memory system. When
-    /// `measure` is false (warmup), energy and probe counters are not
-    /// charged; hardware state (caches, TLBs, TFT, predictors) warms
-    /// either way.
-    ///
-    /// The sink is a compile-time parameter: every `if S::ENABLED` guard
-    /// below is a constant branch, so the untraced instantiation carries
-    /// no event-emission code at all. Kept out-of-line for the same
-    /// code-locality reason as [`System::run_with_sink`]: one call per
-    /// window amortizes to nothing, while inlining four instantiations
-    /// into the caller bloats it past the instruction cache.
-    #[inline(never)]
-    fn simulate<C: CpuModel, S: Sink>(
-        &mut self,
-        instructions: u64,
-        cpu: &mut C,
-        measure: bool,
-        counters: &mut Counters,
-        sink: &mut S,
-    ) -> Result<(), SimError> {
-        let miss_squash = OooCpu::sandybridge().miss_squash_cycles();
-        let is_ooo = self.config.cpu == CpuKind::OutOfOrder;
-        let is_seesaw = matches!(self.l1, L1Flavor::Seesaw(_));
-        let is_vivt = self.l1.is_vivt();
-        let line_bytes = 64u64;
-
-        // Loop-invariant schedule periods, and the scheduler-hint
-        // assumption for the stateless policies — `Occupancy` is the only
-        // one that must consult the TLB, and only SEESAW hits on the
-        // out-of-order core ever read the answer, so it is computed
-        // lazily in that branch below.
-        let sample_every = self.config.sample_interval.unwrap_or(u64::MAX);
-        let switch_every = self.config.context_switch_interval.unwrap_or(u64::MAX);
-        let page_op_every = self.config.page_op_interval.unwrap_or(u64::MAX);
-        let static_assumption = match self.config.scheduler_hint {
-            SchedulerHintPolicy::Occupancy => None,
-            SchedulerHintPolicy::AlwaysFast => Some(HitTimeAssumption::Fast),
-            SchedulerHintPolicy::AlwaysSlow => Some(HitTimeAssumption::Slow),
-        };
-
-        let mut executed = 0u64;
-        let mut next_sample = if measure { sample_every } else { u64::MAX };
-        let mut window = SampleWindow::capture(self, cpu);
-        let mut last_tft_rate = 0.0;
-        let mut next_switch = switch_every;
-        let mut next_page_op = page_op_every;
-        let mut page_op_toggle = false;
-
-        while executed < instructions {
-            let tref = self.generator.next_ref();
-            let va = self.vma.base().offset(tref.offset);
-            let at = self.elapsed + executed;
-
-            // Translation (parallel with cache indexing for V-indexed L1s).
-            let lookup = self
-                .tlbs
-                .lookup(va, &self.space)
-                .ok_or(SimError::PageFault { va: va.raw() })?;
-            if S::ENABLED {
-                let level = match lookup.level {
-                    TlbLevel::L1 => TranslationLevel::L1,
-                    TlbLevel::L2 => TranslationLevel::L2,
-                    TlbLevel::PageWalk => TranslationLevel::Walk,
-                };
-                sink.emit(at, EventKind::TlbLookup { level });
-                if lookup.level == TlbLevel::PageWalk {
-                    sink.emit(
-                        at,
-                        EventKind::WalkEnd {
-                            cycles: lookup.cost_cycles as u32,
-                            superpage: lookup.entry.size.is_superpage(),
-                        },
-                    );
-                }
-            }
-            // VIVT hits never consult the TLB; its translation energy is
-            // charged below, only for misses.
-            if measure && !is_vivt {
-                self.account.tlb_l1();
-                match lookup.level {
-                    TlbLevel::L1 => {}
-                    TlbLevel::L2 => self.account.tlb_l2(),
-                    TlbLevel::PageWalk => {
-                        self.account.tlb_l2();
-                        self.account.page_walk();
-                    }
-                }
-            }
-            if let Some(seesaw) = self.l1.seesaw() {
-                for page in &lookup.superpage_l1_fills {
-                    seesaw.tft_fill(page.base());
-                    if S::ENABLED {
-                        sink.emit(at, EventKind::TftFill);
-                    }
-                }
-            }
-
-            let pa = lookup.entry.translate(va);
-            let page_size = lookup.entry.size;
-            if page_size.is_superpage() {
-                counters.super_refs += 1;
-            }
-            counters.total_refs += 1;
-
-            let req = L1Request {
-                va,
-                pa,
-                page_size,
-                is_write: tref.is_write,
-            };
-            let out = self.l1.as_dyn().access(&req);
-            if S::ENABLED {
-                if let Some(hit) = out.tft_hit {
-                    sink.emit(at, EventKind::TftLookup { hit });
-                }
-                sink.emit(
-                    at,
-                    EventKind::PartitionLookup {
-                        ways_probed: out.ways_probed.min(u8::MAX as usize) as u8,
-                        hit: out.hit,
-                    },
-                );
-            }
-
-            // Differential shadow check: the hardware's translation and
-            // TFT verdict against the page table's ground truth and the
-            // program's reference memory.
-            if self.checker.is_some() {
-                let authoritative = self
-                    .translate_cached(va)
-                    .ok_or(SimError::PageFault { va: va.raw() })?;
-                let checker = self.checker.as_mut().expect("checked above");
-                if let Err(v) = checker.check_access(
-                    at,
-                    &AccessCheck {
-                        va: va.raw(),
-                        pa: pa.raw(),
-                        authoritative_pa: authoritative.pa.raw(),
-                        is_superpage: authoritative.page_size.is_superpage(),
-                        tft_hit: out.tft_hit,
-                        is_write: tref.is_write,
-                    },
-                ) {
-                    if S::ENABLED {
-                        sink.emit(at, EventKind::Violation { kind: v.kind.name() });
-                    }
-                    return Err(v.into());
-                }
-            }
-
-            let mut squash_cycles = 0u64;
-            if is_seesaw {
-                if measure {
-                    self.account.tft_lookup();
-                }
-                // Refresh on confirmation: when the TFT missed but the TLB
-                // (which hit a 2 MB entry) proves the access is a
-                // superpage, re-mark the region. The paper only draws the
-                // TLB-fill arrows in Fig. 5, but the information is
-                // already at the TFT's write port, and without the refresh
-                // a direct-mapped conflict pair would stay cold between
-                // TLB misses.
-                if out.tft_hit == Some(false) && page_size.is_superpage() {
-                    if let Some(seesaw) = self.l1.seesaw() {
-                        seesaw.tft_fill(va);
-                        if S::ENABLED {
-                            sink.emit(at, EventKind::TftFill);
-                        }
-                    }
-                }
-            }
-            if measure {
-                self.account.cpu_lookup(out.ways_probed);
-            }
-
-            // Assemble load-to-use latency.
-            let mut latency = if self.serializes_translation {
-                // PIPT: the TLB access (2 cycles for an L1 TLB hit, plus
-                // any miss cost) fully precedes the array access.
-                2 + lookup.cost_cycles + out.latency_cycles
-            } else if is_vivt {
-                // VIVT: hits are translation-free; misses translate on the
-                // way to the L2 (added below with the miss cost).
-                out.latency_cycles
-            } else {
-                // VIPT: set selection overlaps translation; the tag
-                // compare waits for the (possibly slow) translation.
-                out.latency_cycles.max(lookup.cost_cycles + 1)
-            };
-
-            if !out.hit {
-                let ptag = pa.raw() / line_bytes;
-                let (level, miss_cycles) = self.outer.access(ptag, req.is_write);
-                if measure {
-                    counters.miss_penalty.record(miss_cycles);
-                }
-                if is_vivt {
-                    // The translation VIVT deferred happens on the miss path.
-                    latency += lookup.cost_cycles + 1;
-                    if measure {
-                        self.account.tlb_l1();
-                        if lookup.level != TlbLevel::L1 {
-                            self.account.tlb_l2();
-                        }
-                        if lookup.level == TlbLevel::PageWalk {
-                            self.account.page_walk();
-                        }
-                    }
-                }
-                if measure {
-                    self.account.l2_access();
-                    if level >= MemoryLevel::Llc {
-                        self.account.llc_access();
-                    }
-                    if level == MemoryLevel::Dram {
-                        self.account.dram_access();
-                    }
-                    self.account.l1_fill();
-                }
-                latency += miss_cycles;
-                // Loads are speculatively scheduled as hits on any OoO
-                // design; a miss squashes dependents (equally for the
-                // baseline and SEESAW).
-                if is_ooo {
-                    squash_cycles = miss_squash;
-                }
-                if let Some(evicted) = out.evicted {
-                    if evicted.dirty {
-                        self.outer.writeback(evicted.ptag);
-                        if measure {
-                            self.account.l2_access();
-                        }
-                    }
-                }
-            } else if is_ooo && is_seesaw {
-                // Scheduler hit-time assumption (§IV-B3): only meaningful
-                // for SEESAW hits on the out-of-order core, so the
-                // occupancy query runs here rather than once per
-                // reference. Nothing between the TLB lookup above and this
-                // point mutates the TLB, so the answer is the one the
-                // per-reference query produced.
-                let assumption = static_assumption.unwrap_or_else(|| {
-                    let (valid, cap) = self.tlbs.superpage_l1_occupancy();
-                    self.hint.assumption(valid, cap)
-                });
-                match assumption {
-                    HitTimeAssumption::Fast => {
-                        // The TFT answers within a quarter cycle (§IV-A2),
-                        // so a base-page discovery re-schedules dependents
-                        // before they issue: by default that costs nothing
-                        // (configurable, to study deeper pipelines).
-                        if !out.fast_assumption_held {
-                            squash_cycles = self.config.hit_time_squash_cycles;
-                        }
-                    }
-                    HitTimeAssumption::Slow => {
-                        // Dependents were scheduled for the slow time; a
-                        // fast hit completes early without helping.
-                        latency = latency.max(self.timing.slow_cycles);
-                    }
-                }
-            }
-            // A way-predictor mispredict replays the dependents that woke
-            // for the predicted-way hit time.
-            if is_ooo && out.way_prediction_correct == Some(false) {
-                squash_cycles = squash_cycles.max(2);
-            }
-
-            cpu.retire(tref.gap, latency, squash_cycles);
-            executed += tref.gap + 1;
-
-            // Coherence probes that arrived during this window.
-            self.traffic.record_line(pa.raw() / line_bytes);
-            for probe in self.traffic.step(tref.gap + 1) {
-                let (_, ways) = self
-                    .l1
-                    .as_dyn()
-                    .coherence_probe(PhysAddr::new(probe.ptag * line_bytes), probe.invalidate);
-                if S::ENABLED {
-                    sink.emit(
-                        at,
-                        EventKind::CoherenceProbe {
-                            ways_probed: ways.min(u8::MAX as usize) as u8,
-                            invalidate: probe.invalidate,
-                        },
-                    );
-                }
-                if measure {
-                    self.account.coherence_lookup(ways);
-                    counters.coherence_probes += 1;
-                }
-            }
-
-            // Telemetry window boundary.
-            if executed >= next_sample {
-                next_sample += sample_every;
-                let now = SampleWindow::capture(self, cpu);
-                let sample = window.delta(&now, last_tft_rate);
-                last_tft_rate = sample.tft_hit_rate;
-                counters.samples.push(sample);
-                window = now;
-            }
-
-            // Context switches flush the (ASID-less) TFT.
-            if executed >= next_switch {
-                next_switch += switch_every;
-                if S::ENABLED {
-                    sink.emit(at, EventKind::ContextSwitch);
-                }
-                if let Some(seesaw) = self.l1.seesaw() {
-                    seesaw.context_switch();
-                    if S::ENABLED {
-                        sink.emit(at, EventKind::TftFlush);
-                    }
-                }
-            }
-
-            // Legacy OS page-table churn schedule: a deterministic
-            // splinter/re-promote alternation at a fixed interval, routed
-            // through the same fault-application path as the injector.
-            if executed >= next_page_op {
-                next_page_op += page_op_every;
-                self.apply_page_op(va, page_op_toggle, self.elapsed + executed, sink)?;
-                page_op_toggle = !page_op_toggle;
-            }
-
-            // Randomized fault injection (the general mechanism).
-            if let Some(kind) = self
-                .injector
-                .as_mut()
-                .and_then(|i| i.poll(self.elapsed + executed))
-            {
-                self.apply_fault(kind, self.elapsed + executed, sink)?;
-            }
-        }
-        self.elapsed += executed;
-        Ok(())
     }
 
     /// Superpage coverage of the populated footprint (available before
     /// running — Fig. 3 only needs this).
     pub fn superpage_coverage(&self) -> f64 {
-        self.space.superpage_coverage()
+        self.uncore.space.superpage_coverage()
     }
 
     fn tlb_config(config: &RunConfig) -> TlbHierarchyConfig {
@@ -907,45 +711,487 @@ impl System {
         }
         tlb
     }
+}
 
-    /// Splinters (or re-promotes) the 2 MB region containing `va`,
-    /// delivering the invalidation events to the TLBs and every L1 design
-    /// that must observe them, mirroring the transition into the shadow
-    /// model, and running the structural audits. Shared by the legacy
-    /// `page_op_interval` schedule and the fault injector.
-    ///
-    /// A promotion that fails for lack of contiguous physical memory is
-    /// graceful degradation, not an error: the region stays base-paged
-    /// and the demotion is counted.
-    fn apply_page_op<S: Sink>(
-        &mut self,
-        va: VirtAddr,
-        promote: bool,
-        instruction: u64,
-        sink: &mut S,
-    ) -> Result<(), SimError> {
-        // The page table is about to change shape; the last-translation
-        // micro-cache must not serve a stale mapping.
-        self.last_translation = None;
-        let result = if promote {
-            self.space.promote(&mut self.pmem, va)
-        } else {
-            self.space.splinter(&mut self.pmem, va)
-        };
-        match result {
-            Ok(_) => {}
-            Err(MemError::Fragmented { .. } | MemError::OutOfMemory { .. }) if promote => {
-                self.run_demotions += 1;
-                let region = VirtAddr::new(va.raw() & !(PageSize::Super2M.bytes() - 1));
+/// Per-core interleave bookkeeping: one instance per core, replicating
+/// the schedule state the single-core loop kept in locals.
+struct Schedule {
+    executed: u64,
+    next_sample: u64,
+    window: SampleWindow,
+    last_tft_rate: f64,
+    next_switch: u64,
+    next_page_op: u64,
+    page_op_toggle: bool,
+}
+
+/// Runs `instructions` instructions per core through the memory system,
+/// round-robin one reference at a time so cross-core effects (coherence
+/// probes, shootdowns, shared-page-table churn) land deterministically.
+/// When `measure` is false (warmup), energy and probe counters are not
+/// charged; hardware state (caches, TLBs, TFT, predictors, directory)
+/// warms either way.
+///
+/// The sink is a compile-time parameter: every `if S::ENABLED` guard
+/// below is a constant branch, so the untraced instantiation carries no
+/// event-emission code at all. Kept out-of-line for code locality: one
+/// call per window amortizes to nothing, while inlining four
+/// instantiations into the caller bloats it past the instruction cache.
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn interleave<C: CpuModel, S: Sink>(
+    config: &RunConfig,
+    timing: L1Timing,
+    serializes_translation: bool,
+    cores: &mut [Core],
+    uncore: &mut Uncore,
+    cpus: &mut [C],
+    instructions: u64,
+    measure: bool,
+    counters: &mut [Counters],
+    sink: &mut S,
+) -> Result<(), SimError> {
+    let miss_squash = OooCpu::sandybridge().miss_squash_cycles();
+    let is_ooo = config.cpu == CpuKind::OutOfOrder;
+    let is_seesaw = matches!(cores[0].l1, L1Flavor::Seesaw(_));
+    let is_vivt = cores[0].l1.is_vivt();
+    let line_bytes = 64u64;
+    let n = cores.len();
+
+    // Loop-invariant schedule periods, and the scheduler-hint
+    // assumption for the stateless policies — `Occupancy` is the only
+    // one that must consult the TLB, and only SEESAW hits on the
+    // out-of-order core ever read the answer, so it is computed
+    // lazily in that branch below.
+    let sample_every = config.sample_interval.unwrap_or(u64::MAX);
+    let switch_every = config.context_switch_interval.unwrap_or(u64::MAX);
+    let page_op_every = config.page_op_interval.unwrap_or(u64::MAX);
+    let static_assumption = match config.scheduler_hint {
+        SchedulerHintPolicy::Occupancy => None,
+        SchedulerHintPolicy::AlwaysFast => Some(HitTimeAssumption::Fast),
+        SchedulerHintPolicy::AlwaysSlow => Some(HitTimeAssumption::Slow),
+    };
+
+    let mut sched: Vec<Schedule> = (0..n)
+        .map(|i| Schedule {
+            executed: 0,
+            next_sample: if measure { sample_every } else { u64::MAX },
+            window: SampleWindow::capture(&mut cores[i], &cpus[i]),
+            last_tft_rate: 0.0,
+            next_switch: switch_every,
+            next_page_op: page_op_every,
+            page_op_toggle: false,
+        })
+        .collect();
+
+    loop {
+        let mut alive = false;
+        for i in 0..n {
+            if sched[i].executed >= instructions {
+                continue;
+            }
+            alive = true;
+            if S::ENABLED {
+                sink.set_core(i as u16);
+            }
+
+            // --- Core-private portion: this core's reference against its
+            // own TLBs and L1, with the shared outer hierarchy behind its
+            // misses. Identical, statement for statement, to the
+            // single-core loop this replaces.
+            let (at, va, pa, is_write) = {
+                let st = &mut sched[i];
+                let core = &mut cores[i];
+                let cpu = &mut cpus[i];
+                let ctr = &mut counters[i];
+
+                let tref = core.generator.next_ref();
+                let va = uncore.vma.base().offset(tref.offset);
+                let at = core.elapsed + st.executed;
+
+                // Translation (parallel with cache indexing for V-indexed L1s).
+                let lookup = core
+                    .tlbs
+                    .lookup(va, &uncore.space)
+                    .ok_or(SimError::PageFault { va: va.raw() })?;
                 if S::ENABLED {
+                    let level = match lookup.level {
+                        TlbLevel::L1 => TranslationLevel::L1,
+                        TlbLevel::L2 => TranslationLevel::L2,
+                        TlbLevel::PageWalk => TranslationLevel::Walk,
+                    };
+                    sink.emit(at, EventKind::TlbLookup { level });
+                    if lookup.level == TlbLevel::PageWalk {
+                        sink.emit(
+                            at,
+                            EventKind::WalkEnd {
+                                cycles: lookup.cost_cycles as u32,
+                                superpage: lookup.entry.size.is_superpage(),
+                            },
+                        );
+                    }
+                }
+                // VIVT hits never consult the TLB; its translation energy is
+                // charged below, only for misses.
+                if measure && !is_vivt {
+                    uncore.account.tlb_l1();
+                    match lookup.level {
+                        TlbLevel::L1 => {}
+                        TlbLevel::L2 => uncore.account.tlb_l2(),
+                        TlbLevel::PageWalk => {
+                            uncore.account.tlb_l2();
+                            uncore.account.page_walk();
+                        }
+                    }
+                }
+                if let Some(seesaw) = core.l1.seesaw() {
+                    for page in &lookup.superpage_l1_fills {
+                        seesaw.tft_fill(page.base());
+                        if S::ENABLED {
+                            sink.emit(at, EventKind::TftFill);
+                        }
+                    }
+                }
+
+                let pa = lookup.entry.translate(va);
+                let page_size = lookup.entry.size;
+                if page_size.is_superpage() {
+                    ctr.super_refs += 1;
+                }
+                ctr.total_refs += 1;
+
+                let req = L1Request {
+                    va,
+                    pa,
+                    page_size,
+                    is_write: tref.is_write,
+                };
+                let out = core.l1.as_dyn().access(&req);
+                if S::ENABLED {
+                    if let Some(hit) = out.tft_hit {
+                        sink.emit(at, EventKind::TftLookup { hit });
+                    }
                     sink.emit(
-                        instruction,
-                        EventKind::Demotion {
-                            region_va: region.raw(),
+                        at,
+                        EventKind::PartitionLookup {
+                            ways_probed: out.ways_probed.min(u8::MAX as usize) as u8,
+                            hit: out.hit,
                         },
                     );
                 }
-                if let Some(checker) = self.checker.as_mut() {
+
+                // Differential shadow check: the hardware's translation and
+                // TFT verdict against the page table's ground truth and the
+                // program's reference memory.
+                if core.checker.is_some() {
+                    let authoritative = core
+                        .translate_cached(&uncore.space, va)
+                        .ok_or(SimError::PageFault { va: va.raw() })?;
+                    let checker = core.checker.as_mut().expect("checked above");
+                    if let Err(v) = checker.check_access(
+                        at,
+                        &AccessCheck {
+                            va: va.raw(),
+                            pa: pa.raw(),
+                            authoritative_pa: authoritative.pa.raw(),
+                            is_superpage: authoritative.page_size.is_superpage(),
+                            tft_hit: out.tft_hit,
+                            is_write: tref.is_write,
+                        },
+                    ) {
+                        if S::ENABLED {
+                            sink.emit(at, EventKind::Violation { kind: v.kind.name() });
+                        }
+                        return Err(v.into());
+                    }
+                }
+
+                let mut squash_cycles = 0u64;
+                if is_seesaw {
+                    if measure {
+                        uncore.account.tft_lookup();
+                    }
+                    // Refresh on confirmation: when the TFT missed but the TLB
+                    // (which hit a 2 MB entry) proves the access is a
+                    // superpage, re-mark the region. The paper only draws the
+                    // TLB-fill arrows in Fig. 5, but the information is
+                    // already at the TFT's write port, and without the refresh
+                    // a direct-mapped conflict pair would stay cold between
+                    // TLB misses.
+                    if out.tft_hit == Some(false) && page_size.is_superpage() {
+                        if let Some(seesaw) = core.l1.seesaw() {
+                            seesaw.tft_fill(va);
+                            if S::ENABLED {
+                                sink.emit(at, EventKind::TftFill);
+                            }
+                        }
+                    }
+                }
+                if measure {
+                    uncore.account.cpu_lookup(out.ways_probed);
+                }
+
+                // Assemble load-to-use latency.
+                let mut latency = if serializes_translation {
+                    // PIPT: the TLB access (2 cycles for an L1 TLB hit, plus
+                    // any miss cost) fully precedes the array access.
+                    2 + lookup.cost_cycles + out.latency_cycles
+                } else if is_vivt {
+                    // VIVT: hits are translation-free; misses translate on the
+                    // way to the L2 (added below with the miss cost).
+                    out.latency_cycles
+                } else {
+                    // VIPT: set selection overlaps translation; the tag
+                    // compare waits for the (possibly slow) translation.
+                    out.latency_cycles.max(lookup.cost_cycles + 1)
+                };
+
+                if !out.hit {
+                    let ptag = pa.raw() / line_bytes;
+                    let (level, miss_cycles) = uncore.outer.access(ptag, req.is_write);
+                    if measure {
+                        ctr.miss_penalty.record(miss_cycles);
+                    }
+                    if is_vivt {
+                        // The translation VIVT deferred happens on the miss path.
+                        latency += lookup.cost_cycles + 1;
+                        if measure {
+                            uncore.account.tlb_l1();
+                            if lookup.level != TlbLevel::L1 {
+                                uncore.account.tlb_l2();
+                            }
+                            if lookup.level == TlbLevel::PageWalk {
+                                uncore.account.page_walk();
+                            }
+                        }
+                    }
+                    if measure {
+                        uncore.account.l2_access();
+                        if level >= MemoryLevel::Llc {
+                            uncore.account.llc_access();
+                        }
+                        if level == MemoryLevel::Dram {
+                            uncore.account.dram_access();
+                        }
+                        uncore.account.l1_fill();
+                    }
+                    latency += miss_cycles;
+                    // Loads are speculatively scheduled as hits on any OoO
+                    // design; a miss squashes dependents (equally for the
+                    // baseline and SEESAW).
+                    if is_ooo {
+                        squash_cycles = miss_squash;
+                    }
+                    if let Some(evicted) = out.evicted {
+                        if evicted.dirty {
+                            uncore.outer.writeback(evicted.ptag);
+                            if measure {
+                                uncore.account.l2_access();
+                            }
+                        }
+                    }
+                } else if is_ooo && is_seesaw {
+                    // Scheduler hit-time assumption (§IV-B3): only meaningful
+                    // for SEESAW hits on the out-of-order core, so the
+                    // occupancy query runs here rather than once per
+                    // reference. Nothing between the TLB lookup above and this
+                    // point mutates the TLB, so the answer is the one the
+                    // per-reference query produced.
+                    let assumption = static_assumption.unwrap_or_else(|| {
+                        let (valid, cap) = core.tlbs.superpage_l1_occupancy();
+                        core.hint.assumption(valid, cap)
+                    });
+                    match assumption {
+                        HitTimeAssumption::Fast => {
+                            // The TFT answers within a quarter cycle (§IV-A2),
+                            // so a base-page discovery re-schedules dependents
+                            // before they issue: by default that costs nothing
+                            // (configurable, to study deeper pipelines).
+                            if !out.fast_assumption_held {
+                                squash_cycles = config.hit_time_squash_cycles;
+                            }
+                        }
+                        HitTimeAssumption::Slow => {
+                            // Dependents were scheduled for the slow time; a
+                            // fast hit completes early without helping.
+                            latency = latency.max(timing.slow_cycles);
+                        }
+                    }
+                }
+                // A way-predictor mispredict replays the dependents that woke
+                // for the predicted-way hit time.
+                if is_ooo && out.way_prediction_correct == Some(false) {
+                    squash_cycles = squash_cycles.max(2);
+                }
+
+                cpu.retire(tref.gap, latency, squash_cycles);
+                st.executed += tref.gap + 1;
+
+                // Synthetic coherence probes that arrived during this window
+                // (the cores = 1 fallback; absent when the directory below
+                // generates the real thing).
+                if let Some(traffic) = core.traffic.as_mut() {
+                    traffic.record_line(pa.raw() / line_bytes);
+                    for probe in traffic.step(tref.gap + 1) {
+                        let (_, ways) = core.l1.as_dyn().coherence_probe(
+                            PhysAddr::new(probe.ptag * line_bytes),
+                            probe.invalidate,
+                        );
+                        if S::ENABLED {
+                            sink.emit(
+                                at,
+                                EventKind::CoherenceProbe {
+                                    ways_probed: ways.min(u8::MAX as usize) as u8,
+                                    invalidate: probe.invalidate,
+                                },
+                            );
+                        }
+                        if measure {
+                            uncore.account.coherence_lookup(ways);
+                            ctr.coherence_probes += 1;
+                        }
+                    }
+                }
+
+                (at, va, pa, tref.is_write)
+            };
+
+            // --- Real coherence: this reference announces itself to the
+            // directory (or snoopy bus), and every resulting probe lands in
+            // the peer timing L1 it targets — no synthetic traffic at all.
+            let ptag = pa.raw() / line_bytes;
+            if let Some(tx) = uncore
+                .coherence
+                .as_mut()
+                .map(|dir| dir.access(i, ptag, is_write))
+            {
+                for p in tx.probes {
+                    let (_, ways) = cores[p.target]
+                        .l1
+                        .as_dyn()
+                        .coherence_probe(PhysAddr::new(ptag * line_bytes), p.invalidate);
+                    if S::ENABLED {
+                        // The probe is the target core's event; the timeline
+                        // position is the initiator's, which is when it fired.
+                        sink.set_core(p.target as u16);
+                        sink.emit(
+                            at,
+                            EventKind::CoherenceProbe {
+                                ways_probed: ways.min(u8::MAX as usize) as u8,
+                                invalidate: p.invalidate,
+                            },
+                        );
+                        sink.set_core(i as u16);
+                    }
+                    if p.writeback {
+                        uncore.outer.writeback(ptag);
+                        if measure {
+                            uncore.account.l2_access();
+                        }
+                    }
+                    if measure {
+                        uncore.account.coherence_lookup(ways);
+                        counters[p.target].coherence_probes += 1;
+                    }
+                }
+            }
+
+            // Telemetry window boundary.
+            if sched[i].executed >= sched[i].next_sample {
+                sched[i].next_sample += sample_every;
+                let now = SampleWindow::capture(&mut cores[i], &cpus[i]);
+                let sample = sched[i].window.delta(&now, sched[i].last_tft_rate);
+                sched[i].last_tft_rate = sample.tft_hit_rate;
+                counters[i].samples.push(sample);
+                sched[i].window = now;
+            }
+
+            // Context switches flush the (ASID-less) TFT.
+            if sched[i].executed >= sched[i].next_switch {
+                sched[i].next_switch += switch_every;
+                if S::ENABLED {
+                    sink.emit(at, EventKind::ContextSwitch);
+                }
+                if let Some(seesaw) = cores[i].l1.seesaw() {
+                    seesaw.context_switch();
+                    if S::ENABLED {
+                        sink.emit(at, EventKind::TftFlush);
+                    }
+                }
+            }
+
+            // Legacy OS page-table churn schedule: a deterministic
+            // splinter/re-promote alternation at a fixed interval, routed
+            // through the same fault-application path as the injector.
+            if sched[i].executed >= sched[i].next_page_op {
+                sched[i].next_page_op += page_op_every;
+                let now_at = cores[i].elapsed + sched[i].executed;
+                let promote = sched[i].page_op_toggle;
+                apply_page_op(cores, uncore, i, va, promote, now_at, sink)?;
+                sched[i].page_op_toggle = !sched[i].page_op_toggle;
+            }
+
+            // Randomized fault injection (the general mechanism).
+            let now_at = cores[i].elapsed + sched[i].executed;
+            if let Some(kind) = cores[i].injector.as_mut().and_then(|inj| inj.poll(now_at)) {
+                apply_fault(config, cores, uncore, i, kind, now_at, sink)?;
+            }
+        }
+        if !alive {
+            break;
+        }
+    }
+    for (core, st) in cores.iter_mut().zip(&sched) {
+        core.elapsed += st.executed;
+    }
+    Ok(())
+}
+
+/// Splinters (or re-promotes) the 2 MB region containing `va`,
+/// delivering the invalidation events to every core's TLBs — the page
+/// table is shared, so a change on one core is a shootdown on all —
+/// and to every L1 design that must observe them, mirroring the
+/// transition into each core's shadow model and running the structural
+/// audits. Shared by the legacy `page_op_interval` schedule and the
+/// fault injector.
+///
+/// A promotion that fails for lack of contiguous physical memory is
+/// graceful degradation, not an error: the region stays base-paged and
+/// the demotion is counted.
+fn apply_page_op<S: Sink>(
+    cores: &mut [Core],
+    uncore: &mut Uncore,
+    initiator: usize,
+    va: VirtAddr,
+    promote: bool,
+    instruction: u64,
+    sink: &mut S,
+) -> Result<(), SimError> {
+    // The shared page table is about to change shape; no core's
+    // last-translation micro-cache may serve a stale mapping.
+    for core in cores.iter_mut() {
+        core.last_translation = None;
+    }
+    let result = if promote {
+        uncore.space.promote(&mut uncore.pmem, va)
+    } else {
+        uncore.space.splinter(&mut uncore.pmem, va)
+    };
+    match result {
+        Ok(_) => {}
+        Err(MemError::Fragmented { .. } | MemError::OutOfMemory { .. }) if promote => {
+            uncore.run_demotions += 1;
+            let region = VirtAddr::new(va.raw() & !(PageSize::Super2M.bytes() - 1));
+            if S::ENABLED {
+                sink.emit(
+                    instruction,
+                    EventKind::Demotion {
+                        region_va: region.raw(),
+                    },
+                );
+            }
+            for core in cores.iter_mut() {
+                if let Some(checker) = core.checker.as_mut() {
                     checker.record_event(
                         instruction,
                         CheckEvent::PromotionDemoted {
@@ -953,50 +1199,55 @@ impl System {
                         },
                     );
                 }
-                return Ok(());
             }
-            // The region is not currently in the right state (already
-            // splintered / already promoted / outside the heap): benign.
-            Err(_) => return Ok(()),
+            return Ok(());
         }
-        let chaos = self
-            .injector
-            .as_ref()
-            .map(|i| i.config().chaos)
-            .unwrap_or_default();
-        for op in self.space.drain_ops() {
-            self.tlbs.handle_op(&op);
-            if S::ENABLED {
-                match &op {
-                    PageTableOp::Splintered(page) => sink.emit(
-                        instruction,
-                        EventKind::Splinter {
-                            region_va: page.base().raw(),
-                        },
-                    ),
-                    PageTableOp::Promoted { page, .. } => sink.emit(
-                        instruction,
-                        EventKind::Promotion {
-                            region_va: page.base().raw(),
-                        },
-                    ),
-                    PageTableOp::Unmapped(page) => sink.emit(
-                        instruction,
-                        EventKind::Shootdown {
-                            page_va: page.base().raw(),
-                        },
-                    ),
-                    PageTableOp::Mapped(_) => {}
-                }
+        // The region is not currently in the right state (already
+        // splintered / already promoted / outside the heap): benign.
+        Err(_) => return Ok(()),
+    }
+    let chaos = cores[initiator]
+        .injector
+        .as_ref()
+        .map(|i| i.config().chaos)
+        .unwrap_or_default();
+    for op in uncore.space.drain_ops() {
+        // A real shootdown: every core's TLBs observe the invalidation.
+        for core in cores.iter_mut() {
+            core.tlbs.handle_op(&op);
+        }
+        if S::ENABLED {
+            match &op {
+                PageTableOp::Splintered(page) => sink.emit(
+                    instruction,
+                    EventKind::Splinter {
+                        region_va: page.base().raw(),
+                    },
+                ),
+                PageTableOp::Promoted { page, .. } => sink.emit(
+                    instruction,
+                    EventKind::Promotion {
+                        region_va: page.base().raw(),
+                    },
+                ),
+                PageTableOp::Unmapped(page) => sink.emit(
+                    instruction,
+                    EventKind::Shootdown {
+                        page_va: page.base().raw(),
+                    },
+                ),
+                PageTableOp::Mapped(_) => {}
             }
-            // ChaosConfig knobs deliberately lose the L1-side invalidation
-            // so tests can prove the checker catches the corruption.
-            let dropped = match &op {
-                PageTableOp::Splintered(_) => chaos.drop_tft_invalidation_on_splinter,
-                PageTableOp::Promoted { .. } => chaos.drop_promotion_sweep,
-                _ => false,
-            };
-            match &mut self.l1 {
+        }
+        // ChaosConfig knobs deliberately lose the L1-side invalidation
+        // so tests can prove the checker catches the corruption.
+        let dropped = match &op {
+            PageTableOp::Splintered(_) => chaos.drop_tft_invalidation_on_splinter,
+            PageTableOp::Promoted { .. } => chaos.drop_promotion_sweep,
+            _ => false,
+        };
+        for core in cores.iter_mut() {
+            match &mut core.l1 {
                 L1Flavor::Seesaw(l1) if !dropped => {
                     l1.handle_op(&op);
                 }
@@ -1008,7 +1259,9 @@ impl System {
                 }
                 _ => {}
             }
-            if let Err(e) = self.observe_op(&op, instruction) {
+        }
+        for core in cores.iter_mut() {
+            if let Err(e) = observe_op(core, &uncore.space, &op, instruction) {
                 if S::ENABLED {
                     if let SimError::Check(v) = &e {
                         sink.emit(instruction, EventKind::Violation { kind: v.kind.name() });
@@ -1017,180 +1270,207 @@ impl System {
                 return Err(e);
             }
         }
-        if promote {
-            // Promotion copies the region into the new 2 MB frame; the
-            // kernel's copy streams through the cache hierarchy, so the
-            // new frame's lines are LLC-resident afterwards.
-            if let Some(t) = self.space.translate(va) {
-                let first = t.frame.base().raw() / 64;
-                let lines = PageSize::Super2M.bytes() / 64;
-                for line in first..first + lines {
-                    self.outer.access(line, true);
-                }
-            }
-        }
-        Ok(())
     }
-
-    /// Mirrors one page-table operation into the shadow model and runs
-    /// the structural audits that must hold immediately afterwards.
-    fn observe_op(&mut self, op: &PageTableOp, instruction: u64) -> Result<(), SimError> {
-        if self.checker.is_none() {
-            return Ok(());
+    if promote {
+        // Promotion copies the region into the new 2 MB frame; the
+        // kernel's copy streams through the cache hierarchy, so the
+        // new frame's lines are LLC-resident afterwards.
+        if let Some(t) = uncore.space.translate(va) {
+            let first = t.frame.base().raw() / 64;
+            let lines = PageSize::Super2M.bytes() / 64;
+            for line in first..first + lines {
+                uncore.outer.access(line, true);
+            }
         }
-        match op {
-            PageTableOp::Splintered(page) => {
-                let region_va = page.base().raw();
-                if let Some(checker) = self.checker.as_mut() {
-                    checker.observe_splinter(instruction, region_va);
-                }
-                // §IV-C2 precision: the TFT must no longer vouch for the
-                // splintered region.
-                if let L1Flavor::Seesaw(l1) = &self.l1 {
-                    let still_vouches = l1.tft_probe(page.base());
-                    if let Some(checker) = self.checker.as_mut() {
-                        checker.audit_splinter_tft(instruction, region_va, still_vouches)?;
-                    }
+    }
+    Ok(())
+}
+
+/// Mirrors one page-table operation into one core's shadow model and
+/// runs the structural audits that must hold immediately afterwards.
+fn observe_op(
+    core: &mut Core,
+    space: &AddressSpace,
+    op: &PageTableOp,
+    instruction: u64,
+) -> Result<(), SimError> {
+    if core.checker.is_none() {
+        return Ok(());
+    }
+    match op {
+        PageTableOp::Splintered(page) => {
+            let region_va = page.base().raw();
+            if let Some(checker) = core.checker.as_mut() {
+                checker.observe_splinter(instruction, region_va);
+            }
+            // §IV-C2 precision: the TFT must no longer vouch for the
+            // splintered region.
+            if let L1Flavor::Seesaw(l1) = &core.l1 {
+                let still_vouches = l1.tft_probe(page.base());
+                if let Some(checker) = core.checker.as_mut() {
+                    checker.audit_splinter_tft(instruction, region_va, still_vouches)?;
                 }
             }
-            PageTableOp::Promoted { page, old_frames } => {
-                let region_va = page.base().raw();
-                let new_frame = self
-                    .space
-                    .translate(page.base())
-                    .map(|t| t.frame.base().raw())
-                    .unwrap_or(0);
-                // old_frames arrive in VA order: frame i backs region
-                // offset i × 4 KB.
-                let frames: Vec<(u64, u64, u64)> = old_frames
-                    .iter()
-                    .enumerate()
-                    .map(|(i, f)| {
-                        (
-                            f.base().raw(),
-                            f.size().bytes(),
-                            i as u64 * PageSize::Base4K.bytes(),
-                        )
-                    })
-                    .collect();
-                if let Some(checker) = self.checker.as_mut() {
-                    checker.observe_promotion(instruction, region_va, new_frame, &frames);
-                }
-                match &self.l1 {
-                    L1Flavor::Seesaw(l1) => {
-                        // No line of the migrated-away frames may survive
-                        // the promotion sweep.
-                        let mut ranges: Vec<(u64, u64)> = old_frames
-                            .iter()
-                            .map(|f| {
-                                let first = f.base().raw() / 64;
-                                (first, first + f.size().bytes() / 64)
-                            })
-                            .collect();
-                        ranges.sort_unstable();
-                        let resident = l1
-                            .resident_lines()
-                            .filter(|line| {
-                                ranges
-                                    .binary_search_by(|&(lo, hi)| {
-                                        if line.ptag < lo {
-                                            std::cmp::Ordering::Greater
-                                        } else if line.ptag >= hi {
-                                            std::cmp::Ordering::Less
-                                        } else {
-                                            std::cmp::Ordering::Equal
-                                        }
-                                    })
-                                    .is_ok()
-                            })
-                            .count();
-                        let unreachable = l1.audit_partition_reachability();
-                        if let Some(checker) = self.checker.as_mut() {
-                            checker.audit_promotion_sweep(instruction, region_va, resident)?;
-                            // §IV-C1: every resident line must sit in the
-                            // partition its physical address names.
-                            if let Some(unreachable) = unreachable {
-                                checker.audit_partitions(instruction, unreachable)?;
-                            }
-                        }
-                    }
-                    L1Flavor::Vivt(l1) => {
-                        // VIVT back-pointers must not reference the frames
-                        // the promotion freed.
-                        let plines: Vec<u64> = l1.mapped_plines().collect();
-                        if let Some(checker) = self.checker.as_mut() {
-                            checker.audit_physical_mappings(instruction, plines)?;
-                        }
-                    }
-                    L1Flavor::Baseline(_) => {}
-                }
+        }
+        PageTableOp::Promoted { page, old_frames } => {
+            let region_va = page.base().raw();
+            let new_frame = space
+                .translate(page.base())
+                .map(|t| t.frame.base().raw())
+                .unwrap_or(0);
+            // old_frames arrive in VA order: frame i backs region
+            // offset i × 4 KB.
+            let frames: Vec<(u64, u64, u64)> = old_frames
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    (
+                        f.base().raw(),
+                        f.size().bytes(),
+                        i as u64 * PageSize::Base4K.bytes(),
+                    )
+                })
+                .collect();
+            if let Some(checker) = core.checker.as_mut() {
+                checker.observe_promotion(instruction, region_va, new_frame, &frames);
             }
-            PageTableOp::Unmapped(page) => {
-                if let Some(checker) = self.checker.as_mut() {
-                    checker.record_event(
+            match &core.l1 {
+                L1Flavor::Seesaw(l1) => {
+                    // No line of the migrated-away frames may survive
+                    // the promotion sweep.
+                    let mut ranges: Vec<(u64, u64)> = old_frames
+                        .iter()
+                        .map(|f| {
+                            let first = f.base().raw() / 64;
+                            (first, first + f.size().bytes() / 64)
+                        })
+                        .collect();
+                    ranges.sort_unstable();
+                    let resident = l1
+                        .resident_lines()
+                        .filter(|line| {
+                            ranges
+                                .binary_search_by(|&(lo, hi)| {
+                                    if line.ptag < lo {
+                                        std::cmp::Ordering::Greater
+                                    } else if line.ptag >= hi {
+                                        std::cmp::Ordering::Less
+                                    } else {
+                                        std::cmp::Ordering::Equal
+                                    }
+                                })
+                                .is_ok()
+                        })
+                        .count();
+                    let unreachable = l1.audit_partition_reachability();
+                    if let Some(checker) = core.checker.as_mut() {
+                        checker.audit_promotion_sweep(instruction, region_va, resident)?;
+                        // §IV-C1: every resident line must sit in the
+                        // partition its physical address names.
+                        if let Some(unreachable) = unreachable {
+                            checker.audit_partitions(instruction, unreachable)?;
+                        }
+                    }
+                }
+                L1Flavor::Vivt(l1) => {
+                    // VIVT back-pointers must not reference the frames
+                    // the promotion freed.
+                    let plines: Vec<u64> = l1.mapped_plines().collect();
+                    if let Some(checker) = core.checker.as_mut() {
+                        checker.audit_physical_mappings(instruction, plines)?;
+                    }
+                }
+                L1Flavor::Baseline(_) => {}
+            }
+        }
+        PageTableOp::Unmapped(page) => {
+            if let Some(checker) = core.checker.as_mut() {
+                checker.record_event(
+                    instruction,
+                    CheckEvent::Shootdown {
+                        page_va: page.base().raw(),
+                    },
+                );
+            }
+        }
+        PageTableOp::Mapped(_) => {}
+    }
+    Ok(())
+}
+
+/// Applies one fault injected on `initiator`'s schedule. Globally
+/// visible faults (page-table reshapes, shootdowns, memory pressure)
+/// broadcast to every core; core-local ones (TFT storms, context
+/// switches) stay on the initiator.
+fn apply_fault<S: Sink>(
+    config: &RunConfig,
+    cores: &mut [Core],
+    uncore: &mut Uncore,
+    initiator: usize,
+    kind: FaultKind,
+    instruction: u64,
+    sink: &mut S,
+) -> Result<(), SimError> {
+    // Every fault kind may reshape translations (splinters,
+    // promotions, pressure-driven remaps); drop the micro-caches
+    // wholesale rather than reason per-kind.
+    for core in cores.iter_mut() {
+        core.last_translation = None;
+    }
+    if S::ENABLED {
+        sink.emit(instruction, EventKind::Fault { kind: kind.name() });
+    }
+    for core in cores.iter_mut() {
+        if let Some(checker) = core.checker.as_mut() {
+            checker.record_event(instruction, CheckEvent::Injected(kind));
+        }
+    }
+    let footprint = config.workload.footprint_bytes();
+    let regions = (footprint / PageSize::Super2M.bytes()).max(1) as usize;
+    match kind {
+        FaultKind::Splinter | FaultKind::Promote => {
+            let region = pick(&mut cores[initiator], regions);
+            let va = uncore
+                .vma
+                .base()
+                .offset(region as u64 * PageSize::Super2M.bytes());
+            apply_page_op(
+                cores,
+                uncore,
+                initiator,
+                va,
+                kind == FaultKind::Promote,
+                instruction,
+                sink,
+            )?;
+        }
+        FaultKind::TlbShootdown => {
+            // A spurious shootdown: the TLBs — all of them, the page
+            // table is shared — drop a mapping it still holds. Harmless
+            // by design — the next access refills from the (unchanged)
+            // page table — and exactly the event a stale-translation bug
+            // would hide behind.
+            let pages = (footprint / PageSize::Base4K.bytes()).max(1) as usize;
+            let page = pick(&mut cores[initiator], pages);
+            let va = uncore
+                .vma
+                .base()
+                .offset(page as u64 * PageSize::Base4K.bytes());
+            if let Some(t) = uncore.space.translate(va) {
+                let op = PageTableOp::Unmapped(t.vpage);
+                for core in cores.iter_mut() {
+                    core.tlbs.handle_op(&op);
+                }
+                if S::ENABLED {
+                    sink.emit(
                         instruction,
-                        CheckEvent::Shootdown {
-                            page_va: page.base().raw(),
+                        EventKind::Shootdown {
+                            page_va: t.vpage.base().raw(),
                         },
                     );
                 }
-            }
-            PageTableOp::Mapped(_) => {}
-        }
-        Ok(())
-    }
-
-    /// Applies one injected fault.
-    fn apply_fault<S: Sink>(
-        &mut self,
-        kind: FaultKind,
-        instruction: u64,
-        sink: &mut S,
-    ) -> Result<(), SimError> {
-        // Every fault kind may reshape translations (splinters,
-        // promotions, pressure-driven remaps); drop the micro-cache
-        // wholesale rather than reason per-kind.
-        self.last_translation = None;
-        if S::ENABLED {
-            sink.emit(instruction, EventKind::Fault { kind: kind.name() });
-        }
-        if let Some(checker) = self.checker.as_mut() {
-            checker.record_event(instruction, CheckEvent::Injected(kind));
-        }
-        let footprint = self.config.workload.footprint_bytes();
-        let regions = (footprint / PageSize::Super2M.bytes()).max(1) as usize;
-        match kind {
-            FaultKind::Splinter | FaultKind::Promote => {
-                let region = self.pick(regions);
-                let va = self
-                    .vma
-                    .base()
-                    .offset(region as u64 * PageSize::Super2M.bytes());
-                self.apply_page_op(va, kind == FaultKind::Promote, instruction, sink)?;
-            }
-            FaultKind::TlbShootdown => {
-                // A spurious shootdown: the TLBs drop a mapping the page
-                // table still holds. Harmless by design — the next access
-                // refills from the (unchanged) page table — and exactly
-                // the event a stale-translation bug would hide behind.
-                let pages = (footprint / PageSize::Base4K.bytes()).max(1) as usize;
-                let page = self.pick(pages);
-                let va = self
-                    .vma
-                    .base()
-                    .offset(page as u64 * PageSize::Base4K.bytes());
-                if let Some(t) = self.space.translate(va) {
-                    let op = PageTableOp::Unmapped(t.vpage);
-                    self.tlbs.handle_op(&op);
-                    if S::ENABLED {
-                        sink.emit(
-                            instruction,
-                            EventKind::Shootdown {
-                                page_va: t.vpage.base().raw(),
-                            },
-                        );
-                    }
-                    if let Some(checker) = self.checker.as_mut() {
+                for core in cores.iter_mut() {
+                    if let Some(checker) = core.checker.as_mut() {
                         checker.record_event(
                             instruction,
                             CheckEvent::Shootdown {
@@ -1200,60 +1480,62 @@ impl System {
                     }
                 }
             }
-            FaultKind::TftStorm => {
-                // Conflict-alias the direct-mapped TFT with fills for many
-                // genuinely superpage-backed regions, forcing evictions of
-                // live entries. Base-paged regions are never filled — that
-                // would be injecting the very bug the TFT's precision
-                // invariant forbids.
-                for _ in 0..16 {
-                    let region = self.pick(regions);
-                    let va = self
-                        .vma
-                        .base()
-                        .offset(region as u64 * PageSize::Super2M.bytes());
-                    let backed_super = self
-                        .space
-                        .translate(va)
-                        .is_some_and(|t| t.page_size.is_superpage());
-                    if backed_super {
-                        if let Some(seesaw) = self.l1.seesaw() {
-                            seesaw.tft_fill(va);
-                            if S::ENABLED {
-                                sink.emit(instruction, EventKind::TftFill);
-                            }
+        }
+        FaultKind::TftStorm => {
+            // Conflict-alias the initiator's direct-mapped TFT with fills
+            // for many genuinely superpage-backed regions, forcing
+            // evictions of live entries. Base-paged regions are never
+            // filled — that would be injecting the very bug the TFT's
+            // precision invariant forbids.
+            for _ in 0..16 {
+                let region = pick(&mut cores[initiator], regions);
+                let va = uncore
+                    .vma
+                    .base()
+                    .offset(region as u64 * PageSize::Super2M.bytes());
+                let backed_super = uncore
+                    .space
+                    .translate(va)
+                    .is_some_and(|t| t.page_size.is_superpage());
+                if backed_super {
+                    if let Some(seesaw) = cores[initiator].l1.seesaw() {
+                        seesaw.tft_fill(va);
+                        if S::ENABLED {
+                            sink.emit(instruction, EventKind::TftFill);
                         }
                     }
                 }
             }
-            FaultKind::ContextSwitch => {
+        }
+        FaultKind::ContextSwitch => {
+            if S::ENABLED {
+                sink.emit(instruction, EventKind::ContextSwitch);
+            }
+            if let Some(seesaw) = cores[initiator].l1.seesaw() {
+                seesaw.context_switch();
                 if S::ENABLED {
-                    sink.emit(instruction, EventKind::ContextSwitch);
-                }
-                if let Some(seesaw) = self.l1.seesaw() {
-                    seesaw.context_switch();
-                    if S::ENABLED {
-                        sink.emit(instruction, EventKind::TftFlush);
-                    }
-                }
-                if let Some(checker) = self.checker.as_mut() {
-                    checker.record_event(instruction, CheckEvent::ContextSwitch);
+                    sink.emit(instruction, EventKind::TftFlush);
                 }
             }
-            FaultKind::MemPressure => {
-                // A fresh co-runner grabs a slice of physical memory,
-                // fragmenting the free lists (Memhog instances are
-                // single-use, so each pressure event gets its own).
-                let seed = self.config.seed ^ (self.pick(1 << 30) as u64);
-                let mut hog = Memhog::new(MemhogConfig {
-                    fraction: 0.05,
-                    unmovable_fraction: 0.0,
-                    churn_factor: 0.0,
-                    seed,
-                });
-                hog.run(&mut self.pmem);
-                let held: u64 = self.pressure_hogs.iter().map(Memhog::held_frames).sum();
-                if let Some(checker) = self.checker.as_mut() {
+            if let Some(checker) = cores[initiator].checker.as_mut() {
+                checker.record_event(instruction, CheckEvent::ContextSwitch);
+            }
+        }
+        FaultKind::MemPressure => {
+            // A fresh co-runner grabs a slice of physical memory,
+            // fragmenting the free lists (Memhog instances are
+            // single-use, so each pressure event gets its own).
+            let seed = config.seed ^ (pick(&mut cores[initiator], 1 << 30) as u64);
+            let mut hog = Memhog::new(MemhogConfig {
+                fraction: 0.05,
+                unmovable_fraction: 0.0,
+                churn_factor: 0.0,
+                seed,
+            });
+            hog.run(&mut uncore.pmem);
+            let held: u64 = uncore.pressure_hogs.iter().map(Memhog::held_frames).sum();
+            for core in cores.iter_mut() {
+                if let Some(checker) = core.checker.as_mut() {
                     checker.record_event(
                         instruction,
                         CheckEvent::MemPressure {
@@ -1261,27 +1543,160 @@ impl System {
                         },
                     );
                 }
-                self.pressure_hogs.push(hog);
             }
-            FaultKind::MemRelease => {
-                if let Some(mut hog) = self.pressure_hogs.pop() {
-                    hog.release(&mut self.pmem);
-                }
-                let held: u64 = self.pressure_hogs.iter().map(Memhog::held_frames).sum();
-                if let Some(checker) = self.checker.as_mut() {
-                    checker
-                        .record_event(instruction, CheckEvent::MemPressure { held_frames: held });
+            uncore.pressure_hogs.push(hog);
+        }
+        FaultKind::MemRelease => {
+            if let Some(mut hog) = uncore.pressure_hogs.pop() {
+                hog.release(&mut uncore.pmem);
+            }
+            let held: u64 = uncore.pressure_hogs.iter().map(Memhog::held_frames).sum();
+            for core in cores.iter_mut() {
+                if let Some(checker) = core.checker.as_mut() {
+                    checker.record_event(instruction, CheckEvent::MemPressure { held_frames: held });
                 }
             }
         }
-        Ok(())
     }
+    Ok(())
+}
 
-    /// A deterministic choice from the injector's seeded stream (0 when
-    /// no injector is attached — callers only reach this through one).
-    fn pick(&mut self, n: usize) -> usize {
-        self.injector.as_mut().map_or(0, |i| i.pick(n))
-    }
+/// A deterministic choice from the core's seeded injector stream (0 when
+/// no injector is attached — callers only reach this through one).
+fn pick(core: &mut Core, n: usize) -> usize {
+    core.injector.as_mut().map_or(0, |i| i.pick(n))
+}
+
+fn add_cache(total: &mut CacheStats, s: &CacheStats) {
+    let CacheStats {
+        hits,
+        misses,
+        fills,
+        evictions,
+        writebacks,
+        ways_probed,
+        coherence_probes,
+        coherence_ways_probed,
+        coherence_invalidations,
+    } = *s;
+    total.hits += hits;
+    total.misses += misses;
+    total.fills += fills;
+    total.evictions += evictions;
+    total.writebacks += writebacks;
+    total.ways_probed += ways_probed;
+    total.coherence_probes += coherence_probes;
+    total.coherence_ways_probed += coherence_ways_probed;
+    total.coherence_invalidations += coherence_invalidations;
+}
+
+fn add_tlb(total: &mut TlbStats, s: &TlbStats) {
+    let TlbStats {
+        hits,
+        misses,
+        fills,
+        evictions,
+        invalidations,
+        flushes,
+    } = *s;
+    total.hits += hits;
+    total.misses += misses;
+    total.fills += fills;
+    total.evictions += evictions;
+    total.invalidations += invalidations;
+    total.flushes += flushes;
+}
+
+fn add_walker(total: &mut WalkerStats, s: &WalkerStats) {
+    let WalkerStats {
+        walks,
+        cycles,
+        faults,
+    } = *s;
+    total.walks += walks;
+    total.cycles += cycles;
+    total.faults += faults;
+}
+
+fn add_seesaw(total: &mut SeesawStats, s: &SeesawStats) {
+    let SeesawStats {
+        super_tft_hit_cache_hit,
+        super_tft_hit_cache_miss,
+        super_tft_miss,
+        base_page,
+        super_tft_miss_l1_miss,
+        sweeps,
+        swept_lines,
+    } = *s;
+    total.super_tft_hit_cache_hit += super_tft_hit_cache_hit;
+    total.super_tft_hit_cache_miss += super_tft_hit_cache_miss;
+    total.super_tft_miss += super_tft_miss;
+    total.base_page += base_page;
+    total.super_tft_miss_l1_miss += super_tft_miss_l1_miss;
+    total.sweeps += sweeps;
+    total.swept_lines += swept_lines;
+}
+
+fn add_tft(total: &mut TftStats, s: &TftStats) {
+    let TftStats {
+        hits,
+        misses,
+        fills,
+        invalidations,
+        flushes,
+    } = *s;
+    total.hits += hits;
+    total.misses += misses;
+    total.fills += fills;
+    total.invalidations += invalidations;
+    total.flushes += flushes;
+}
+
+fn add_inject(total: &mut InjectionStats, s: &InjectionStats) {
+    let InjectionStats {
+        splinters,
+        promotions,
+        shootdowns,
+        tft_storms,
+        context_switches,
+        mem_pressure,
+        mem_releases,
+    } = *s;
+    total.splinters += splinters;
+    total.promotions += promotions;
+    total.shootdowns += shootdowns;
+    total.tft_storms += tft_storms;
+    total.context_switches += context_switches;
+    total.mem_pressure += mem_pressure;
+    total.mem_releases += mem_releases;
+}
+
+fn add_checker(total: &mut CheckerSummary, s: &CheckerSummary) {
+    let CheckerSummary {
+        loads_checked,
+        stores_tracked,
+        audits,
+        violations,
+    } = *s;
+    total.loads_checked += loads_checked;
+    total.stores_tracked += stores_tracked;
+    total.audits += audits;
+    let ViolationCounters {
+        stale_translation,
+        tft_claims_base_page,
+        data_divergence,
+        use_after_free,
+        swept_line_resident,
+        partition_unreachable,
+        stale_physical_mapping,
+    } = violations;
+    total.violations.stale_translation += stale_translation;
+    total.violations.tft_claims_base_page += tft_claims_base_page;
+    total.violations.data_divergence += data_divergence;
+    total.violations.use_after_free += use_after_free;
+    total.violations.swept_line_resident += swept_line_resident;
+    total.violations.partition_unreachable += partition_unreachable;
+    total.violations.stale_physical_mapping += stale_physical_mapping;
 }
 
 #[cfg(test)]
@@ -1392,5 +1807,29 @@ mod tests {
         let r = System::build(&cfg).unwrap().run().unwrap();
         assert!(r.totals.cycles > 0);
         assert!(r.l1.accesses() > 0);
+    }
+
+    #[test]
+    fn two_core_directory_runs_deliver_only_real_probes() {
+        let cfg = RunConfig::quick("redis").design(L1DesignKind::Seesaw).cores(2);
+        let r = System::build(&cfg).unwrap().run().unwrap();
+        assert_eq!(r.cores.len(), 2);
+        let coh = r.coherence.expect("directory attached for cores=2");
+        assert!(coh.probes_delivered > 0, "real sharing must generate probes");
+        // Every probe the cores received came out of the directory.
+        assert!(
+            r.coherence_probes <= coh.probes_delivered,
+            "counted {} probes but the directory only delivered {}",
+            r.coherence_probes,
+            coh.probes_delivered
+        );
+        assert!(r.cores.iter().all(|c| c.totals.instructions >= 150_000));
+    }
+
+    #[test]
+    fn single_core_runs_have_no_directory() {
+        let r = System::build(&RunConfig::quick("astar")).unwrap().run().unwrap();
+        assert!(r.coherence.is_none());
+        assert_eq!(r.cores.len(), 1);
     }
 }

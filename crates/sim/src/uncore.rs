@@ -1,0 +1,31 @@
+//! The shared (uncore) slice of the system: what every core sees.
+//!
+//! One [`Uncore`] backs all N [`crate::core::Core`]s of a run: the
+//! physical memory with its OS model (buddy allocator, THP policy,
+//! memhog pressure), the shared address space — all cores are threads
+//! of one process — the unified L2/LLC/DRAM hierarchy, the coherence
+//! directory when real probes are enabled, and the energy account
+//! (dynamic energy accumulates globally; leakage scales with the number
+//! of L1 instances at finish time).
+
+use seesaw_cache::OuterHierarchy;
+use seesaw_coherence::DirectoryController;
+use seesaw_energy::EnergyAccount;
+use seesaw_mem::{AddressSpace, Memhog, PhysicalMemory, Vma};
+
+/// Everything shared between cores.
+pub(crate) struct Uncore {
+    pub pmem: PhysicalMemory,
+    pub space: AddressSpace,
+    pub vma: Vma,
+    pub outer: OuterHierarchy,
+    pub account: EnergyAccount,
+    /// Real coherence state ([`crate::ProbeSource::Coherence`] only):
+    /// a functional MOESI directory (or snoopy broadcast bus) that turns
+    /// every core's misses and upgrades into probes for its peers.
+    pub coherence: Option<DirectoryController>,
+    /// Memhog instances holding injected memory pressure (LIFO).
+    pub pressure_hogs: Vec<Memhog>,
+    /// Injected promotions that failed and degraded to base pages.
+    pub run_demotions: u64,
+}

@@ -43,4 +43,4 @@ pub use fully_assoc::FullyAssocTlb;
 pub use hierarchy::{TlbHierarchy, TlbLevel, TlbLookup};
 pub use set_assoc::SetAssocTlb;
 pub use stats::TlbStats;
-pub use walker::{PageWalker, WalkResult};
+pub use walker::{PageWalker, WalkResult, WalkerStats};

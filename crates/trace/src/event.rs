@@ -141,13 +141,17 @@ impl EventKind {
     }
 }
 
-/// A stamped event: `at` is the absolute instruction count (spanning
-/// every `simulate` call of the run, matching the checker's diagnostic
-/// timeline).
+/// A stamped event: `at` is the absolute instruction count on the
+/// issuing core's timeline (spanning every `simulate` call of the run,
+/// matching the checker's diagnostic timeline), and `core` identifies
+/// which core the event belongs to (the *target* core for delivered
+/// coherence probes, the initiator for everything else).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event {
     /// Instruction stamp.
     pub at: u64,
+    /// Core the event belongs to (always 0 on single-core runs).
+    pub core: u16,
     /// What happened.
     pub kind: EventKind,
 }
@@ -156,7 +160,12 @@ impl Event {
     /// Renders the event as one flat JSON object (one JSONL line,
     /// without the trailing newline).
     pub fn to_json(&self) -> String {
-        let mut s = format!("{{\"at\":{},\"type\":\"{}\"", self.at, self.kind.name());
+        let mut s = format!(
+            "{{\"at\":{},\"core\":{},\"type\":\"{}\"",
+            self.at,
+            self.core,
+            self.kind.name()
+        );
         match self.kind {
             EventKind::TlbLookup { level } => {
                 s.push_str(&format!(",\"level\":\"{}\"", level.label()));
@@ -415,6 +424,7 @@ mod tests {
     fn json_lines_are_flat_objects() {
         let e = Event {
             at: 42,
+            core: 1,
             kind: EventKind::WalkEnd {
                 cycles: 107,
                 superpage: true,
@@ -422,7 +432,7 @@ mod tests {
         };
         assert_eq!(
             e.to_json(),
-            "{\"at\":42,\"type\":\"walk_end\",\"cycles\":107,\"superpage\":true}"
+            "{\"at\":42,\"core\":1,\"type\":\"walk_end\",\"cycles\":107,\"superpage\":true}"
         );
     }
 

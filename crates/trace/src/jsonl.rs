@@ -14,12 +14,19 @@ pub struct JsonlReport {
     pub lines: u64,
     /// Events per `type` value, sorted.
     pub counts: BTreeMap<String, u64>,
+    /// Events per `core` value, sorted (core id → events on that core).
+    pub cores: BTreeMap<u64, u64>,
 }
 
 impl JsonlReport {
     /// Count for one event type (0 if absent).
     pub fn count(&self, name: &str) -> u64 {
         self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Count for one core (0 if the stream has no events on it).
+    pub fn core_count(&self, core: u64) -> u64 {
+        self.cores.get(&core).copied().unwrap_or(0)
     }
 }
 
@@ -42,8 +49,8 @@ impl std::error::Error for JsonlError {}
 
 /// Validates a JSONL event stream produced by
 /// [`crate::TraceData::to_jsonl`]: each non-empty line must be a JSON
-/// object with a numeric `at` and a known `type`. Returns per-type
-/// counts on success.
+/// object with a numeric `at`, a numeric `core`, and a known `type`.
+/// Returns per-type and per-core counts on success.
 pub fn validate_jsonl(text: &str) -> Result<JsonlReport, JsonlError> {
     let mut report = JsonlReport::default();
     for (i, raw) in text.lines().enumerate() {
@@ -67,6 +74,13 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlReport, JsonlError> {
                 message: "missing or non-integer \"at\" field".to_string(),
             });
         }
+        let core = obj.get("core").and_then(Json::as_u64);
+        let Some(core) = core else {
+            return Err(JsonlError {
+                line: lineno,
+                message: "missing or non-integer \"core\" field".to_string(),
+            });
+        };
         let ty = obj
             .get("type")
             .and_then(Json::as_str)
@@ -81,6 +95,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlReport, JsonlError> {
             });
         }
         *report.counts.entry(ty.to_string()).or_insert(0) += 1;
+        *report.cores.entry(core).or_insert(0) += 1;
         report.lines += 1;
     }
     Ok(report)
@@ -108,6 +123,7 @@ mod tests {
                 superpage: false,
             },
         );
+        s.set_core(1);
         s.emit(3, EventKind::Fault { kind: "splinter" });
         let t = s.finish().unwrap();
         let report = validate_jsonl(&t.to_jsonl()).unwrap();
@@ -116,21 +132,26 @@ mod tests {
         assert_eq!(report.count("walk_end"), 1);
         assert_eq!(report.count("fault"), 1);
         assert_eq!(report.count("absent"), 0);
+        assert_eq!(report.core_count(0), 2);
+        assert_eq!(report.core_count(1), 1);
+        assert_eq!(report.core_count(7), 0);
     }
 
     #[test]
     fn rejects_bad_lines() {
         assert!(validate_jsonl("not json").is_err());
-        assert!(validate_jsonl("{\"type\":\"walk_end\"}").is_err()); // no at
-        assert!(validate_jsonl("{\"at\":1}").is_err()); // no type
-        assert!(validate_jsonl("{\"at\":1,\"type\":\"bogus\"}").is_err());
-        let err = validate_jsonl("{\"at\":1,\"type\":\"tft_fill\"}\nbroken").unwrap_err();
+        assert!(validate_jsonl("{\"core\":0,\"type\":\"walk_end\"}").is_err()); // no at
+        assert!(validate_jsonl("{\"at\":1,\"core\":0}").is_err()); // no type
+        assert!(validate_jsonl("{\"at\":1,\"type\":\"tft_fill\"}").is_err()); // no core
+        assert!(validate_jsonl("{\"at\":1,\"core\":0,\"type\":\"bogus\"}").is_err());
+        let err =
+            validate_jsonl("{\"at\":1,\"core\":0,\"type\":\"tft_fill\"}\nbroken").unwrap_err();
         assert_eq!(err.line, 2);
     }
 
     #[test]
     fn empty_lines_are_skipped() {
-        let report = validate_jsonl("\n{\"at\":1,\"type\":\"tft_fill\"}\n\n").unwrap();
+        let report = validate_jsonl("\n{\"at\":1,\"core\":0,\"type\":\"tft_fill\"}\n\n").unwrap();
         assert_eq!(report.lines, 1);
     }
 }

@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use crate::chrome::ChromeTrace;
 use crate::event::{Event, EventCounts, EventKind};
 
 /// Destination for traced events.
@@ -21,6 +22,12 @@ pub trait Sink {
 
     /// Records one event stamped with the absolute instruction count.
     fn emit(&mut self, at: u64, kind: EventKind);
+
+    /// Sets the core id stamped on subsequently emitted events. The
+    /// multi-core interleave calls this when it switches cores (and
+    /// around cross-core probe deliveries); single-core callers can
+    /// ignore it — events default to core 0.
+    fn set_core(&mut self, _core: u16) {}
 
     /// Consumes the sink and returns its captured trace, if any.
     fn finish(self) -> Option<TraceData>;
@@ -42,13 +49,16 @@ impl Sink for NullSink {
 }
 
 /// A bounded ring of the most recent events plus an exact
-/// [`EventCounts`] mirror that survives ring wrap-around.
+/// [`EventCounts`] mirror that survives ring wrap-around, maintained
+/// both in aggregate and per core.
 #[derive(Debug, Clone)]
 pub struct RingSink {
     ring: VecDeque<Event>,
     capacity: usize,
     dropped: u64,
     counts: EventCounts,
+    core: u16,
+    per_core: Vec<EventCounts>,
 }
 
 impl RingSink {
@@ -59,6 +69,8 @@ impl RingSink {
             capacity: capacity.max(1),
             dropped: 0,
             counts: EventCounts::default(),
+            core: 0,
+            per_core: Vec::new(),
         }
     }
 
@@ -84,17 +96,28 @@ impl Sink for RingSink {
     #[inline]
     fn emit(&mut self, at: u64, kind: EventKind) {
         self.counts.observe(&kind);
+        let core = self.core;
+        if core as usize >= self.per_core.len() {
+            self.per_core.resize(core as usize + 1, EventCounts::default());
+        }
+        self.per_core[core as usize].observe(&kind);
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(Event { at, kind });
+        self.ring.push_back(Event { at, core, kind });
+    }
+
+    #[inline]
+    fn set_core(&mut self, core: u16) {
+        self.core = core;
     }
 
     fn finish(self) -> Option<TraceData> {
         Some(TraceData {
             events: self.ring.into_iter().collect(),
             counts: self.counts,
+            per_core: self.per_core,
             dropped: self.dropped,
         })
     }
@@ -107,6 +130,9 @@ pub struct TraceData {
     pub events: Vec<Event>,
     /// Exact counts of every event emitted (including dropped ones).
     pub counts: EventCounts,
+    /// Exact counts split by core, indexed by core id. Summing any field
+    /// across cores reproduces the same field of `counts`.
+    pub per_core: Vec<EventCounts>,
     /// Events evicted from the ring because capacity was exceeded.
     pub dropped: u64,
 }
@@ -125,6 +151,76 @@ impl TraceData {
     /// Total events emitted over the run (retained + dropped).
     pub fn emitted(&self) -> u64 {
         self.events.len() as u64 + self.dropped
+    }
+
+    /// Renders the retained *structural* events as a Chrome
+    /// `trace_event` JSON string with one thread track per core
+    /// (Perfetto shows "core 0", "core 1", … under process `name`).
+    ///
+    /// Page walks become spans (`ph:"X"`, ending at their stamp);
+    /// promotions, splinters, demotions, shootdowns, context switches,
+    /// coherence probes, TFT flushes, faults, and violations become
+    /// instants. Per-access events (TLB/TFT/partition lookups, TFT
+    /// fills) are deliberately skipped — they arrive at every
+    /// instruction and are already summarized exactly by
+    /// [`TraceData::counts`] / [`TraceData::per_core`].
+    pub fn to_chrome(&self, name: &str) -> String {
+        let pid = 1;
+        let mut t = ChromeTrace::new();
+        t.process_name(pid, name);
+        for core in 0..self.per_core.len().max(1) {
+            t.thread_name(pid, core as u64 + 1, &format!("core {core}"));
+        }
+        for e in &self.events {
+            let tid = u64::from(e.core) + 1;
+            match e.kind {
+                EventKind::WalkEnd { cycles, .. } => {
+                    let dur = u64::from(cycles).max(1);
+                    t.complete(
+                        "page_walk",
+                        "translation",
+                        pid,
+                        tid,
+                        e.at.saturating_sub(dur),
+                        dur,
+                        &[],
+                    );
+                }
+                EventKind::Promotion { .. }
+                | EventKind::Splinter { .. }
+                | EventKind::Demotion { .. } => {
+                    t.instant(e.kind.name(), "os", pid, tid, e.at, &[]);
+                }
+                EventKind::Shootdown { .. } | EventKind::ContextSwitch => {
+                    t.instant(e.kind.name(), "os", pid, tid, e.at, &[]);
+                }
+                EventKind::CoherenceProbe { invalidate, .. } => {
+                    let v = if invalidate { "true" } else { "false" };
+                    t.instant(
+                        "coherence_probe",
+                        "coherence",
+                        pid,
+                        tid,
+                        e.at,
+                        &[("invalidate", v)],
+                    );
+                }
+                EventKind::TftFlush => {
+                    t.instant("tft_flush", "tft", pid, tid, e.at, &[]);
+                }
+                EventKind::Violation { kind } => {
+                    t.instant("violation", "check", pid, tid, e.at, &[("kind", kind)]);
+                }
+                EventKind::Fault { kind } => {
+                    t.instant("fault", "check", pid, tid, e.at, &[("kind", kind)]);
+                }
+                EventKind::TlbLookup { .. }
+                | EventKind::TftLookup { .. }
+                | EventKind::TftFill
+                | EventKind::PartitionLookup { .. } => {}
+            }
+        }
+        t.render()
     }
 }
 
@@ -174,6 +270,58 @@ mod tests {
         let t = s.finish().unwrap();
         let jsonl = t.to_jsonl();
         assert_eq!(jsonl.lines().count(), 2);
-        assert!(jsonl.starts_with("{\"at\":5,\"type\":\"tft_fill\"}"));
+        assert!(jsonl.starts_with("{\"at\":5,\"core\":0,\"type\":\"tft_fill\"}"));
+    }
+
+    #[test]
+    fn per_core_counts_partition_the_aggregate() {
+        let mut s = RingSink::new(8);
+        s.emit(1, EventKind::TftFill);
+        s.set_core(2);
+        s.emit(2, EventKind::TftFill);
+        s.emit(3, EventKind::ContextSwitch);
+        s.set_core(0);
+        s.emit(4, EventKind::TftFill);
+        let t = s.finish().unwrap();
+        assert_eq!(t.per_core.len(), 3);
+        assert_eq!(t.per_core[0].tft_fills, 2);
+        assert_eq!(t.per_core[1], EventCounts::default());
+        assert_eq!(t.per_core[2].tft_fills, 1);
+        assert_eq!(t.per_core[2].context_switches, 1);
+        let split: u64 = t.per_core.iter().map(|c| c.total()).sum();
+        assert_eq!(split, t.counts.total());
+        assert_eq!(t.events[1].core, 2);
+    }
+
+    #[test]
+    fn chrome_export_gets_one_track_per_core() {
+        let mut s = RingSink::new(16);
+        s.emit(
+            100,
+            EventKind::WalkEnd {
+                cycles: 30,
+                superpage: false,
+            },
+        );
+        s.set_core(1);
+        s.emit(
+            101,
+            EventKind::CoherenceProbe {
+                ways_probed: 4,
+                invalidate: true,
+            },
+        );
+        s.emit(102, EventKind::ContextSwitch);
+        let t = s.finish().unwrap();
+        let json = t.to_chrome("smoke");
+        assert!(json.contains("\"traceEvents\""));
+        // One thread-name metadata record per core.
+        assert!(json.contains("core 0"));
+        assert!(json.contains("core 1"));
+        // The walk is a span on core 0's track, the probe an instant on
+        // core 1's.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"tid\":2"));
     }
 }

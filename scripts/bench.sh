@@ -20,7 +20,8 @@ echo "==> cargo build --release -p seesaw-bench"
 cargo build --release -p seesaw-bench
 
 bins="table1 table2 table3 fig2a fig2b fig2c fig3 fig7 fig8 fig9 \
-      fig10 fig11 fig12 fig13 fig14 fig15 ablations scheduler partitions"
+      fig10 fig11 fig12 fig13 fig14 fig15 ablations scheduler partitions \
+      multicore"
 
 threads="${SEESAW_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"

@@ -17,11 +17,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> fault-injected checker run (fixed seed, all fault kinds)"
 cargo test --release -q --test checker
 
+echo "==> 2-core fault-injected checker smoke (fixed seed, shared page table)"
+cargo test --release -q --test checker two_core
+
 echo "==> multi-threaded smoke (4 workers): fig15 driver + checker-enabled plan"
 SEESAW_THREADS=4 ./target/release/fig15 60000
 SEESAW_THREADS=4 cargo test --release -q --test runner
 
 echo "==> traced smoke: fault-injected run, tracing on, JSONL through the validator"
 ./target/release/trace_smoke emit | ./target/release/trace_smoke validate
+
+echo "==> 2-core traced smoke: real directory coherence, per-core reconciliation"
+./target/release/trace_smoke emit --cores 2 | ./target/release/trace_smoke validate
 
 echo "OK: all checks passed."

@@ -113,6 +113,44 @@ fn dropping_promotion_sweep_is_caught() {
     }
 }
 
+/// The interleaved 2-core run holds the same guarantee: per-core fault
+/// injectors firing against the *shared* page table (so every splinter,
+/// promotion, and shootdown is a genuine cross-core invalidation) and
+/// per-core shadow checkers still agree with ground truth on every core,
+/// deterministically.
+#[test]
+fn two_core_fault_injected_runs_stay_clean_and_deterministic() {
+    let cfg = RunConfig::paper("redis")
+        .design(L1DesignKind::Seesaw)
+        .instructions(400_000)
+        .cores(2)
+        .with_checker()
+        .with_faults(FaultConfig::all(SEED));
+    let run = || {
+        System::build(&cfg)
+            .unwrap()
+            .run()
+            .unwrap_or_else(|e| panic!("2-core seed {SEED:#x}: {e}"))
+    };
+    let a = run();
+    let checker = a.checker.as_ref().expect("checker was enabled");
+    assert_eq!(checker.violations.total(), 0, "violations on a correct simulator");
+    assert!(checker.loads_checked > 0);
+    let faults = a.faults.as_ref().expect("injector was attached");
+    assert!(faults.total() > 0, "injectors never fired ({faults:?})");
+    // Each core's own checker and injector did real work.
+    assert_eq!(a.cores.len(), 2);
+    for core in &a.cores {
+        let c = core.checker.as_ref().expect("per-core checker");
+        assert_eq!(c.violations.total(), 0, "core {} diverged", core.core);
+        assert!(c.loads_checked > 0, "core {} checker idle", core.core);
+    }
+    let b = run();
+    assert_eq!(a.totals.cycles, b.totals.cycles);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.checker, b.checker);
+}
+
 /// The fault schedule is part of the reproducibility contract: the same
 /// seed must fire the same faults and produce the same counters.
 #[test]

@@ -3,8 +3,8 @@
 //! running the same configurations serially, and a memo-cache hit must
 //! return exactly what a fresh simulation would have produced.
 
-use seesaw_sim::runner::memo_stats;
-use seesaw_sim::{CpuKind, L1DesignKind, Plan, RunConfig, RunResult, System};
+use seesaw_sim::runner::{fingerprint, memo_stats};
+use seesaw_sim::{CpuKind, L1DesignKind, Plan, ProbeSource, RunConfig, RunResult, System};
 
 const BUDGET: u64 = 60_000;
 
@@ -61,6 +61,37 @@ fn assert_identical(a: &RunResult, b: &RunResult, label: &str) {
     );
     assert_eq!(a.coherence_probes, b.coherence_probes, "{label}: probes");
     assert_eq!(a.demotions, b.demotions, "{label}: demotions");
+}
+
+/// The memo key must cover every knob that changes a simulation — in
+/// particular the multi-core fields, or a 2-core run could be served a
+/// cached single-core result. Distinct configs, distinct keys; equal
+/// configs, equal keys.
+#[test]
+fn memo_keys_never_collide_across_multicore_knobs() {
+    let base = RunConfig::quick("astar").instructions(BUDGET);
+    let mut snoopy_pair = base.clone().cores(2);
+    snoopy_pair.snoopy = true;
+    let mut forced_directory = base.clone();
+    forced_directory.probe_source = ProbeSource::Coherence;
+    let variants = [
+        base.clone(),
+        base.clone().cores(2),
+        base.clone().cores(4),
+        snoopy_pair,
+        forced_directory,
+    ];
+    let keys: std::collections::HashSet<String> = variants.iter().map(fingerprint).collect();
+    assert_eq!(
+        keys.len(),
+        variants.len(),
+        "multicore knobs must all feed the memo key"
+    );
+    assert_eq!(
+        fingerprint(&base),
+        fingerprint(&RunConfig::quick("astar").instructions(BUDGET)),
+        "equal configs must share a key"
+    );
 }
 
 #[test]

@@ -7,6 +7,7 @@ use seesaw_sim::{
 };
 use seesaw_trace::json::Json;
 use seesaw_trace::jsonl::validate_jsonl;
+use seesaw_trace::EventCounts;
 
 fn traced_run() -> RunResult {
     let mut cfg = RunConfig::quick("redis")
@@ -192,6 +193,68 @@ fn chrome_trace_matches_golden_schema() {
     // and exactly one when this test ran it fresh (another test in this
     // process may have warmed the memo cache first).
     assert!(phases.iter().filter(|&&p| p == "X").count() <= 1);
+}
+
+/// Per-core reconciliation at cores = 2: the trace's per-core event
+/// split must agree *exactly* with each core's own counters — attribution
+/// as well as totals — and the exporters must keep the cores apart (a
+/// numbered JSONL `core` field on every line, one Chrome thread track
+/// per core).
+#[test]
+fn per_core_events_reconcile_exactly() {
+    let cfg = RunConfig::quick("redis")
+        .design(L1DesignKind::Seesaw)
+        .cores(2)
+        .with_trace();
+    let r = System::build(&cfg).unwrap().run().unwrap();
+    let t = r.trace.as_ref().expect("traced run captures a trace");
+
+    assert_eq!(t.per_core.len(), 2, "one event split per core");
+    assert_eq!(r.cores.len(), 2);
+    for core in &r.cores {
+        let c = &t.per_core[core.core];
+        assert_eq!(c.l1_hits, core.l1.hits, "core {}: l1 hits", core.core);
+        assert_eq!(c.l1_misses, core.l1.misses, "core {}: l1 misses", core.core);
+        assert_eq!(c.ways_probed, core.l1.ways_probed, "core {}: ways", core.core);
+        assert_eq!(c.tft_hits, core.tft.hits, "core {}: tft hits", core.core);
+        assert_eq!(c.tft_misses, core.tft.misses, "core {}: tft misses", core.core);
+        assert_eq!(c.walk_ends, core.walks, "core {}: walks", core.core);
+        assert_eq!(
+            c.coherence_probes, core.coherence_probes,
+            "core {}: probes must be attributed to the core that received them",
+            core.core
+        );
+    }
+    // The split partitions the aggregate with nothing lost.
+    let split: u64 = t.per_core.iter().map(EventCounts::total).sum();
+    assert_eq!(split, t.counts.total());
+
+    // JSONL: every line carries a numeric core, and the retained window
+    // holds events from both cores (round-robin interleave guarantees
+    // the tail is mixed).
+    let report = validate_jsonl(&t.to_jsonl()).expect("core-tagged JSONL must validate");
+    assert!(report.core_count(0) > 0, "no retained events for core 0");
+    assert!(report.core_count(1) > 0, "no retained events for core 1");
+
+    // Chrome export: one named thread track per core.
+    let doc = Json::parse(&t.to_chrome("2-core run")).expect("valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let tracks: Vec<String> = events
+        .iter()
+        .filter(|e| {
+            e.get("name").and_then(Json::as_str) == Some("thread_name")
+        })
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+        })
+        .collect();
+    assert_eq!(tracks, vec!["core 0", "core 1"]);
 }
 
 /// The new windowed-sample fields are populated and NaN-free, the CSV
