@@ -9,6 +9,9 @@
 //!   the hot data structures (cache lookups, TFT, TLB, buddy allocator),
 //!   `figures` times a representative slice of each experiment.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 /// Reads the instruction budget from the first CLI argument, defaulting
 /// to `default` when absent or unparsable.
 pub fn instruction_budget(default: u64) -> u64 {

@@ -54,6 +54,60 @@ impl FaultKind {
             FaultKind::MemRelease => "mem-release",
         }
     }
+
+    /// The inverse of [`FaultKind::name`], for bundle parsing.
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// One fault firing, pinned to its exact position in a run.
+///
+/// `at` is the absolute instruction count the injector was polled with
+/// when the fault fired; `rng_state` is the injector's internal RNG state
+/// immediately after the kind was drawn, so an explicit replay can
+/// restore it and the target choices (`pick`) the fault application makes
+/// come out identical to the recorded run — even after *other* points
+/// have been deleted from the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Absolute instruction count at which the fault fired.
+    pub at: u64,
+    /// The kind that fired.
+    pub kind: FaultKind,
+    /// RNG state to restore before applying the fault.
+    pub rng_state: u64,
+}
+
+/// An explicit, ordered list of fault points for one injector.
+///
+/// The seeded injector derives its schedule from `FaultConfig::seed`; a
+/// `FaultSchedule` instead replays exactly these points (and nothing
+/// else), which is what makes delta-debugging possible: the shrinker can
+/// delete individual points and re-run, something a seeded stream cannot
+/// express.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// The points to fire, in ascending `at` order.
+    pub points: Vec<FaultPoint>,
+}
+
+impl FaultSchedule {
+    /// A schedule replaying exactly `points` (must be in ascending `at`
+    /// order, as recorded).
+    pub fn new(points: Vec<FaultPoint>) -> Self {
+        Self { points }
+    }
+
+    /// Number of scheduled points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
 }
 
 /// Deliberate bug switches: each knob disables one invalidation step so
@@ -219,6 +273,17 @@ impl seesaw_trace::Collect for InjectionStats {
 }
 
 /// A seeded, schedulable fault source (see the module docs).
+///
+/// Two modes share the polling interface:
+///
+/// * **Seeded** ([`FaultInjector::new`]): the schedule is a pure function
+///   of `config.seed`. Every firing is also recorded as a [`FaultPoint`]
+///   (position, kind, RNG snapshot), so a failing run can be converted
+///   into an explicit schedule after the fact.
+/// * **Explicit replay** ([`FaultInjector::replay`]): fires exactly the
+///   points of a [`FaultSchedule`], restoring the recorded RNG state at
+///   each point so target selection matches the recorded run. This is the
+///   mode the shrinker's delta-debugging candidates run in.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     config: FaultConfig,
@@ -226,6 +291,10 @@ pub struct FaultInjector {
     rng: SplitMix64,
     next_at: u64,
     stats: InjectionStats,
+    /// Explicit mode: remaining points to fire plus a cursor.
+    schedule: Option<(Vec<FaultPoint>, usize)>,
+    /// Every point fired so far, in firing order (both modes).
+    fired: Vec<FaultPoint>,
 }
 
 impl FaultInjector {
@@ -241,7 +310,24 @@ impl FaultInjector {
             rng,
             next_at,
             stats: InjectionStats::default(),
+            schedule: None,
+            fired: Vec::new(),
         }
+    }
+
+    /// Builds an injector that replays exactly `schedule`, ignoring the
+    /// seed-derived stream. `config` is still consulted for the chaos
+    /// switches (a replayed bug must stay armed to reproduce).
+    pub fn replay(config: FaultConfig, schedule: FaultSchedule) -> Self {
+        let mut injector = Self::new(config);
+        injector.schedule = Some((schedule.points, 0));
+        injector
+    }
+
+    /// True when the injector replays an explicit schedule instead of the
+    /// seeded stream.
+    pub fn is_replay(&self) -> bool {
+        self.schedule.is_some()
     }
 
     /// The configuration the injector was built with.
@@ -249,16 +335,40 @@ impl FaultInjector {
         &self.config
     }
 
+    /// Every fault fired so far, in firing order, with the RNG snapshot
+    /// that makes each one individually replayable.
+    pub fn fired(&self) -> &[FaultPoint] {
+        &self.fired
+    }
+
     /// Asks whether a fault fires at the given executed-instruction count.
     /// Returns the kind to apply, advancing the schedule; `None` between
     /// scheduled points or when no kinds are enabled.
     pub fn poll(&mut self, executed: u64) -> Option<FaultKind> {
+        if let Some((points, cursor)) = self.schedule.as_mut() {
+            let point = *points.get(*cursor)?;
+            if executed < point.at {
+                return None;
+            }
+            *cursor += 1;
+            // Restore the recorded RNG state so the `pick` calls the
+            // fault application is about to make match the recorded run.
+            self.rng.state = point.rng_state;
+            self.stats.bump(point.kind);
+            self.fired.push(point);
+            return Some(point.kind);
+        }
         if self.kinds.is_empty() || executed < self.next_at {
             return None;
         }
         self.next_at = executed + interval(&mut self.rng, self.config.mean_interval);
         let kind = self.kinds[(self.rng.next() % self.kinds.len() as u64) as usize];
         self.stats.bump(kind);
+        self.fired.push(FaultPoint {
+            at: executed,
+            kind,
+            rng_state: self.rng.state,
+        });
         Some(kind)
     }
 
@@ -371,5 +481,77 @@ mod tests {
                 assert!(injector.pick(n) < n);
             }
         }
+    }
+
+    #[test]
+    fn fired_points_record_the_seeded_stream() {
+        let config = FaultConfig::all(0xfa17).mean_interval(500);
+        let mut injector = FaultInjector::new(config);
+        let mut fired = Vec::new();
+        for executed in 0..50_000 {
+            if let Some(kind) = injector.poll(executed) {
+                fired.push((executed, kind));
+            }
+        }
+        assert!(!fired.is_empty());
+        assert_eq!(injector.fired().len(), fired.len());
+        for (point, &(at, kind)) in injector.fired().iter().zip(&fired) {
+            assert_eq!(point.at, at);
+            assert_eq!(point.kind, kind);
+        }
+    }
+
+    #[test]
+    fn explicit_replay_reproduces_the_recorded_run() {
+        let config = FaultConfig::all(0xbead).mean_interval(300);
+        let mut original = FaultInjector::new(config);
+        let mut picks = Vec::new();
+        for executed in 0..30_000 {
+            if original.poll(executed).is_some() {
+                // Each fault application draws targets from the stream.
+                picks.push((original.pick(17), original.pick(1024)));
+            }
+        }
+        let schedule = FaultSchedule::new(original.fired().to_vec());
+        assert!(!schedule.is_empty());
+
+        let mut replayed = FaultInjector::replay(config, schedule.clone());
+        assert!(replayed.is_replay());
+        let mut replay_picks = Vec::new();
+        for executed in 0..30_000 {
+            if replayed.poll(executed).is_some() {
+                replay_picks.push((replayed.pick(17), replayed.pick(1024)));
+            }
+        }
+        assert_eq!(replayed.fired(), schedule.points.as_slice());
+        assert_eq!(replayed.stats(), original.stats());
+        assert_eq!(replay_picks, picks, "target picks must replay identically");
+    }
+
+    #[test]
+    fn subset_replay_keeps_surviving_picks_identical() {
+        let config = FaultConfig::all(0x50b5e7).mean_interval(200);
+        let mut original = FaultInjector::new(config);
+        let mut picks = Vec::new();
+        for executed in 0..20_000 {
+            if let Some(kind) = original.poll(executed) {
+                picks.push((kind, original.pick(99)));
+            }
+        }
+        let full = original.fired().to_vec();
+        assert!(full.len() >= 4, "need enough points to subset");
+        // Keep every other point: deleting points must not perturb the
+        // targets the surviving ones pick.
+        let subset: Vec<FaultPoint> = full.iter().copied().step_by(2).collect();
+        let mut replayed = FaultInjector::replay(config, FaultSchedule::new(subset.clone()));
+        let mut replay_picks = Vec::new();
+        for executed in 0..20_000 {
+            if let Some(kind) = replayed.poll(executed) {
+                replay_picks.push((kind, replayed.pick(99)));
+            }
+        }
+        let expected: Vec<_> = picks.iter().copied().step_by(2).collect();
+        assert_eq!(replay_picks, expected);
+        assert_eq!(replayed.fired(), subset.as_slice());
     }
 }

@@ -21,15 +21,27 @@
 //!   storms, context switches, and physical-memory pressure at randomized
 //!   points in the instruction stream. [`ChaosConfig`] knobs deliberately
 //!   break individual invalidation steps so tests can prove the checker
-//!   detects real bugs.
+//!   detects real bugs. Every firing is recorded as a [`FaultPoint`], and
+//!   an injector can be rebuilt in *explicit replay* mode from a
+//!   [`FaultSchedule`] — the mechanism the shrinker uses to delete
+//!   individual faults from a failing run.
+//!
+//! A failing run is packaged as a [`ReproBundle`]: a JSON artifact
+//! carrying the run configuration, seeds, fired fault points, violation
+//! summary, and traced event tail, which `seesaw_sim::repro` can replay
+//! bit-identically or delta-debug down to a minimal schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bundle;
 mod inject;
 mod shadow;
 
-pub use inject::{ChaosConfig, FaultConfig, FaultInjector, FaultKind, InjectionStats};
+pub use bundle::{BundleError, BundleStats, BundleViolation, ReproBundle, BUNDLE_VERSION};
+pub use inject::{
+    ChaosConfig, FaultConfig, FaultInjector, FaultKind, FaultPoint, FaultSchedule, InjectionStats,
+};
 pub use shadow::{
     AccessCheck, CheckEvent, CheckerSummary, EventRecord, ShadowChecker, Violation,
     ViolationCounters, ViolationKind,

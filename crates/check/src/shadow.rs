@@ -191,6 +191,10 @@ pub struct Violation {
     pub detail: String,
     /// The most recent OS/injector events leading up to the violation.
     pub history: Vec<EventRecord>,
+    /// A replayable repro bundle, attached by the simulator when a fault
+    /// injector was active (the checker itself cannot know the run
+    /// configuration). Boxed: the bundle carries the event tail.
+    pub repro: Option<Box<crate::ReproBundle>>,
 }
 
 impl std::fmt::Display for Violation {
@@ -533,6 +537,7 @@ impl ShadowChecker {
             instruction,
             detail,
             history: self.history.iter().cloned().collect(),
+            repro: None,
         }
     }
 }

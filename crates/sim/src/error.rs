@@ -11,7 +11,13 @@ use seesaw_check::Violation;
 use seesaw_mem::MemError;
 
 /// Why a simulation could not be built or completed.
-#[derive(Debug)]
+///
+/// `Clone` so the runner's memo cache can record failures the same way it
+/// records results: a deterministic config that fails once fails
+/// identically every time, and the shrinker's delta-debugging candidates
+/// (which fail by design) would otherwise be re-simulated on every
+/// recurrence.
+#[derive(Debug, Clone)]
 pub enum SimError {
     /// Physical memory could not satisfy an allocation the run needs
     /// (after graceful degradation was already attempted).

@@ -22,7 +22,9 @@
 //! fires SEESAW's dangerous transitions (splinters, promotions, TLB
 //! shootdowns, TFT conflict storms, context switches, memory pressure)
 //! at randomized points. A caught invariant violation surfaces as
-//! [`SimError::Check`].
+//! [`SimError::Check`], carrying a replayable [`ReproBundle`]; the
+//! [`repro`] module records, replays, and delta-debugs those bundles
+//! down to a minimal explicit [`FaultSchedule`].
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@ mod core;
 mod error;
 pub mod experiments;
 mod report;
+pub mod repro;
 pub mod runner;
 mod stats;
 mod system;
@@ -55,8 +58,11 @@ pub use config::{CpuKind, Frequency, L1DesignKind, ProbeSource, RunConfig, Sched
 pub use chart::BarChart;
 pub use error::SimError;
 pub use report::Table;
-pub use runner::{CellRecord, MemoStats, Plan, PlanRun};
-pub use seesaw_check::{CheckerSummary, FaultConfig, InjectionStats, Violation};
+pub use runner::{CellRecord, MemoStats, Plan, PlanOutcomes, PlanRun};
+pub use seesaw_check::{
+    ChaosConfig, CheckerSummary, FaultConfig, FaultKind, FaultPoint, FaultSchedule,
+    InjectionStats, ReproBundle, Violation,
+};
 pub use seesaw_coherence::{CoherenceMode, CoherenceStats};
 pub use stats::{CoreResult, RunResult, Sample, Summary};
 pub use system::System;

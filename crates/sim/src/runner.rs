@@ -48,9 +48,14 @@ use seesaw_trace::{ChromeTrace, Collect, MetricsRegistry};
 
 use crate::{RunConfig, RunResult, SimError, System};
 
-/// Process-wide memo cache state.
+/// Process-wide memo cache state. Failures are memoized alongside
+/// results: runs are deterministic, so a config that failed once fails
+/// identically forever, and the repro shrinker leans on this — most of
+/// its delta-debugging candidates *fail by construction* and recur across
+/// bisection rounds.
 struct MemoState {
     results: HashMap<String, RunResult>,
+    failures: HashMap<String, SimError>,
     hits: u64,
     misses: u64,
 }
@@ -61,6 +66,7 @@ fn memo() -> &'static Mutex<MemoState> {
     MEMO.get_or_init(|| {
         Mutex::new(MemoState {
             results: HashMap::new(),
+            failures: HashMap::new(),
             hits: 0,
             misses: 0,
         })
@@ -285,6 +291,30 @@ impl Plan {
     /// simulation failed — the same error a serial front-to-back
     /// execution of the plan would have surfaced first.
     pub fn run(self) -> Result<PlanRun, SimError> {
+        let PlanOutcomes {
+            outcomes,
+            memo,
+            journal,
+            threads,
+        } = self.run_each();
+        let mut results = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            results.push(outcome?);
+        }
+        Ok(PlanRun {
+            results,
+            memo,
+            journal,
+            threads,
+        })
+    }
+
+    /// Like [`Plan::run`], but a failing cell does not abort the plan:
+    /// every cell's outcome comes back in plan order as its own
+    /// `Result`. This is the entry point for callers that *expect*
+    /// failures — the repro shrinker probes dozens of configurations per
+    /// round precisely to learn which ones still violate the checker.
+    pub fn run_each(self) -> PlanOutcomes {
         let threads = self.threads.unwrap_or_else(worker_threads);
         let origin = process_origin();
         let keys: Vec<String> = self.cells.iter().map(|(_, c)| fingerprint(c)).collect();
@@ -295,7 +325,10 @@ impl Plan {
             let m = memo().lock().expect("memo lock");
             let mut queued: HashSet<&str> = HashSet::new();
             for ((_, cfg), key) in self.cells.iter().zip(&keys) {
-                if !m.results.contains_key(key.as_str()) && queued.insert(key) {
+                if !m.results.contains_key(key.as_str())
+                    && !m.failures.contains_key(key.as_str())
+                    && queued.insert(key)
+                {
                     jobs.push((key.clone(), cfg.clone()));
                 }
             }
@@ -349,7 +382,6 @@ impl Plan {
             },
         };
 
-        let mut errors: HashMap<String, SimError> = HashMap::new();
         let mut spans: HashMap<String, (usize, u64, u64)> = HashMap::new();
         {
             let mut m = memo().lock().expect("memo lock");
@@ -364,17 +396,9 @@ impl Plan {
                         m.results.insert(key, result);
                     }
                     Err(e) => {
-                        errors.insert(key, e);
+                        m.failures.insert(key, e);
                     }
                 }
-            }
-        }
-
-        // Surface the earliest failure in plan order, as serial execution
-        // would have.
-        for key in &keys {
-            if let Some(e) = errors.remove(key) {
-                return Err(e);
             }
         }
 
@@ -411,17 +435,34 @@ impl Plan {
             .extend(journal.iter().cloned());
 
         let m = memo().lock().expect("memo lock");
-        let results = keys
+        let outcomes = keys
             .iter()
-            .map(|k| m.results[k.as_str()].clone())
+            .map(|k| match m.results.get(k.as_str()) {
+                Some(r) => Ok(r.clone()),
+                None => Err(m.failures[k.as_str()].clone()),
+            })
             .collect();
-        Ok(PlanRun {
-            results,
+        PlanOutcomes {
+            outcomes,
             memo: memo_delta,
             journal,
             threads,
-        })
+        }
     }
+}
+
+/// The outcome of [`Plan::run_each`]: one `Result` per cell, in plan
+/// order, plus the same memo deltas and journal as [`PlanRun`].
+#[derive(Debug)]
+pub struct PlanOutcomes {
+    /// Per-cell outcomes in plan order.
+    pub outcomes: Vec<Result<RunResult, SimError>>,
+    /// Memo traffic attributable to this plan alone.
+    pub memo: MemoStats,
+    /// Per-cell schedule, in plan order.
+    pub journal: Vec<CellRecord>,
+    /// Worker threads the plan ran with.
+    pub threads: usize,
 }
 
 /// One cell's entry in a [`PlanRun`] journal.
@@ -598,6 +639,44 @@ mod tests {
         assert!(events.iter().any(|e| {
             e.get("ph").and_then(seesaw_trace::json::Json::as_str) == Some("i")
         }));
+    }
+
+    #[test]
+    fn run_each_returns_per_cell_outcomes_and_memoizes_failures() {
+        let chaos = seesaw_check::ChaosConfig {
+            drop_tft_invalidation_on_splinter: true,
+            ..Default::default()
+        };
+        let bad = RunConfig::quick("redis")
+            .design(L1DesignKind::Seesaw)
+            .with_checker()
+            .with_faults(
+                seesaw_check::FaultConfig::all(0xfa17_5eed)
+                    .mean_interval(2_000)
+                    .chaos(chaos),
+            );
+        let good = RunConfig::quick("astar").instructions(30_000);
+        let mut plan = Plan::with_threads(2);
+        plan.push("bad", bad.clone());
+        plan.push("good", good);
+        let out = plan.run_each();
+        assert!(matches!(out.outcomes[0], Err(SimError::Check(_))));
+        assert!(out.outcomes[1].is_ok());
+        assert_eq!(out.journal.len(), 2);
+
+        // The failure is memoized: a second plan serves it from cache.
+        let before = memo_stats();
+        let mut plan = Plan::with_threads(2);
+        plan.push("bad again", bad.clone());
+        let again = plan.run_each();
+        let after = memo_stats();
+        assert!(matches!(again.outcomes[0], Err(SimError::Check(_))));
+        assert_eq!(after.misses, before.misses, "cached failure re-simulated");
+
+        // `run()` surfaces the same error for the earliest failing cell.
+        let mut plan = Plan::with_threads(2);
+        plan.push("bad once more", bad);
+        assert!(matches!(plan.run(), Err(SimError::Check(_))));
     }
 
     #[test]

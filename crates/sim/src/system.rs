@@ -322,10 +322,20 @@ impl System {
                 traffic,
                 checker: config.checker.then(ShadowChecker::new),
                 injector: config.faults.map(|f| {
-                    FaultInjector::new(FaultConfig {
+                    let per_core = FaultConfig {
                         seed: f.seed ^ lane,
                         ..f
-                    })
+                    };
+                    // An explicit schedule for this core (shrinker replay)
+                    // supersedes the seeded stream; missing entries keep it.
+                    match config
+                        .fault_schedules
+                        .as_ref()
+                        .and_then(|s| s.get(id))
+                    {
+                        Some(schedule) => FaultInjector::replay(per_core, schedule.clone()),
+                        None => FaultInjector::new(per_core),
+                    }
                 }),
                 elapsed: 0,
                 last_translation: None,
@@ -432,7 +442,7 @@ impl System {
         // probes flow between cores, they just go uncharged.
         let mut warm_cpus: Vec<InOrderCpu> = (0..n).map(|_| InOrderCpu::atom()).collect();
         let mut scratch: Vec<Counters> = (0..n).map(|_| Counters::default()).collect();
-        interleave(
+        if let Err(e) = interleave(
             &self.config,
             self.timing,
             self.serializes_translation,
@@ -443,7 +453,9 @@ impl System {
             false,
             &mut scratch,
             &mut NullSink,
-        )?;
+        ) {
+            return Err(self.attach_repro(e, &sink));
+        }
 
         // Snapshot per-core counters at the start of the measured window.
         struct CoreBefore {
@@ -479,7 +491,7 @@ impl System {
         let per_core_totals: Vec<RunTotals> = match self.config.cpu {
             CpuKind::InOrder => {
                 let mut cpus: Vec<InOrderCpu> = (0..n).map(|_| InOrderCpu::atom()).collect();
-                interleave(
+                if let Err(e) = interleave(
                     &self.config,
                     self.timing,
                     self.serializes_translation,
@@ -490,12 +502,14 @@ impl System {
                     true,
                     &mut counters,
                     &mut sink,
-                )?;
+                ) {
+                    return Err(self.attach_repro(e, &sink));
+                }
                 cpus.iter().map(CpuModel::totals).collect()
             }
             CpuKind::OutOfOrder => {
                 let mut cpus: Vec<OooCpu> = (0..n).map(|_| OooCpu::sandybridge()).collect();
-                interleave(
+                if let Err(e) = interleave(
                     &self.config,
                     self.timing,
                     self.serializes_translation,
@@ -506,7 +520,9 @@ impl System {
                     true,
                     &mut counters,
                     &mut sink,
-                )?;
+                ) {
+                    return Err(self.attach_repro(e, &sink));
+                }
                 cpus.iter().map(CpuModel::totals).collect()
             }
         };
@@ -701,6 +717,42 @@ impl System {
         self.uncore.space.superpage_coverage()
     }
 
+    /// Packages a checker violation into a [`crate::ReproBundle`] and
+    /// attaches it to the error, so every caller of [`System::run`] — the
+    /// runner's worker pool included — gets a replayable artifact for
+    /// free. Only [`SimError::Check`] from a fault-injected run qualifies:
+    /// without an injector the run is already deterministic from its
+    /// `RunConfig` alone and needs no schedule capture.
+    fn attach_repro<S: Sink>(&self, err: SimError, sink: &S) -> SimError {
+        let SimError::Check(mut v) = err else {
+            return err;
+        };
+        if v.repro.is_none() {
+            if let Some(fault) = self.config.faults {
+                let core = self
+                    .cores
+                    .iter()
+                    .position(|c| {
+                        c.checker
+                            .as_ref()
+                            .is_some_and(|ch| ch.summary().violations.total() > 0)
+                    })
+                    .unwrap_or(0);
+                let bundle = crate::repro::build_bundle(
+                    &self.config,
+                    fault,
+                    &self.cores,
+                    core,
+                    &v,
+                    sink.tail_jsonl(crate::repro::EVENT_TAIL_LINES),
+                );
+                crate::repro::autosave(&bundle);
+                v.repro = Some(Box::new(bundle));
+            }
+        }
+        SimError::Check(v)
+    }
+
     fn tlb_config(config: &RunConfig) -> TlbHierarchyConfig {
         let mut tlb = match config.cpu {
             CpuKind::InOrder => TlbHierarchyConfig::atom(),
@@ -784,10 +836,22 @@ fn interleave<C: CpuModel, S: Sink>(
         })
         .collect();
 
+    // `stop_at_instruction` cuts each core's budget at a *global*
+    // executed-instruction count (warmup + measured), so the shrinker can
+    // halt a replay right after its violation. `elapsed` carries the
+    // instructions from earlier phases.
+    let limits: Vec<u64> = match config.stop_at_instruction {
+        Some(stop) => cores
+            .iter()
+            .map(|c| instructions.min(stop.saturating_sub(c.elapsed)))
+            .collect(),
+        None => vec![instructions; n],
+    };
+
     loop {
         let mut alive = false;
         for i in 0..n {
-            if sched[i].executed >= instructions {
+            if sched[i].executed >= limits[i] {
                 continue;
             }
             alive = true;

@@ -39,6 +39,26 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Escapes a string for embedding in a JSON document (quotes, backslashes,
+/// and control characters). Shared by every hand-rolled exporter in the
+/// workspace — the Chrome-trace builder here and the repro-bundle codec in
+/// `seesaw-check`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl Json {
     /// Parses a complete JSON document (rejects trailing garbage).
     pub fn parse(text: &str) -> Result<Json, ParseError> {

@@ -31,6 +31,15 @@ pub trait Sink {
 
     /// Consumes the sink and returns its captured trace, if any.
     fn finish(self) -> Option<TraceData>;
+
+    /// The most recent `n` retained events as JSONL lines, oldest first,
+    /// without consuming the sink. Used by the repro-bundle writer, which
+    /// needs the event tail at the moment a checker violation surfaces —
+    /// mid-run, while the sink is still owned by the hot loop. Sinks that
+    /// retain nothing return an empty vector.
+    fn tail_jsonl(&self, _n: usize) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// The disabled sink: every emission site monomorphizes to nothing.
@@ -120,6 +129,11 @@ impl Sink for RingSink {
             per_core: self.per_core,
             dropped: self.dropped,
         })
+    }
+
+    fn tail_jsonl(&self, n: usize) -> Vec<String> {
+        let skip = self.ring.len().saturating_sub(n);
+        self.ring.iter().skip(skip).map(Event::to_json).collect()
     }
 }
 
@@ -260,6 +274,25 @@ mod tests {
         // Ring keeps the most recent events, oldest first.
         assert_eq!(t.events[0].at, 6);
         assert_eq!(t.events[3].at, 9);
+    }
+
+    #[test]
+    fn tail_jsonl_reads_without_consuming() {
+        let mut s = RingSink::new(4);
+        for i in 0..7 {
+            s.emit(i, EventKind::TftFill);
+        }
+        let tail = s.tail_jsonl(2);
+        assert_eq!(tail.len(), 2);
+        assert!(tail[0].contains("\"at\":5"));
+        assert!(tail[1].contains("\"at\":6"));
+        // Asking for more than is retained returns everything retained.
+        assert_eq!(s.tail_jsonl(100).len(), 4);
+        // The null sink retains nothing.
+        assert!(NullSink.tail_jsonl(8).is_empty());
+        // The sink is still usable and its trace intact.
+        let t = s.finish().unwrap();
+        assert_eq!(t.events.len(), 4);
     }
 
     #[test]

@@ -30,4 +30,14 @@ echo "==> traced smoke: fault-injected run, tracing on, JSONL through the valida
 echo "==> 2-core traced smoke: real directory coherence, per-core reconciliation"
 ./target/release/trace_smoke emit --cores 2 | ./target/release/trace_smoke validate
 
+echo "==> repro smoke: record a seeded violation, shrink it, replay the minimal bundle"
+repro_dir="$(mktemp -d)"
+trap 'rm -rf "$repro_dir"' EXIT
+./target/release/repro record --out "$repro_dir/bundle.json"
+./target/release/repro shrink "$repro_dir/bundle.json" --out "$repro_dir/shrunk.json"
+./target/release/repro replay "$repro_dir/shrunk.json"
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "OK: all checks passed."
