@@ -33,13 +33,45 @@ pub fn ok_or_exit<T>(result: Result<T, seesaw_sim::SimError>) -> T {
 
 /// Prints the process-wide memo-cache counters. Sweep binaries call this
 /// last, so the output (and `scripts/bench.sh`, which scrapes it) shows
-/// how many grid cells the content-addressed cache deduplicated.
+/// how many grid cells the content-addressed cache deduplicated. When the
+/// persistent store (`SEESAW_STORE`) is active, or any supervised cell
+/// panicked / timed out / was retried, the matching `[store]` and
+/// `[supervisor]` lines follow.
 pub fn print_memo_stats() {
     let s = seesaw_sim::runner::memo_stats();
     println!(
         "[memo] {} hits / {} misses ({} distinct configs simulated)",
         s.hits, s.misses, s.entries
     );
+    if let Some(store) = seesaw_sim::store::process_store() {
+        let s = store.stats();
+        println!(
+            "[store] {} at {}: {} hits ({} failures) / {} misses, {} writes ({} errors), {} corrupt, {} traced skipped",
+            store.len(),
+            store.dir().display(),
+            s.hits,
+            s.failure_hits,
+            s.misses,
+            s.writes,
+            s.write_errors,
+            s.corrupt,
+            s.traced_skipped
+        );
+    }
+    let sup = seesaw_sim::runner::supervisor_stats();
+    if sup.panics_caught + sup.timeouts + sup.retries + sup.permanent_failures + sup.cells_skipped
+        > 0
+    {
+        println!(
+            "[supervisor] {} cells: {} panics caught, {} timeouts, {} retries, {} permanent failures, {} skipped",
+            sup.cells,
+            sup.panics_caught,
+            sup.timeouts,
+            sup.retries,
+            sup.permanent_failures,
+            sup.cells_skipped
+        );
+    }
 }
 
 /// Standard sweep-binary epilogue: prints the memo counters, and — when

@@ -46,6 +46,17 @@ pub enum ViolationKind {
 }
 
 impl ViolationKind {
+    /// Every kind, in a fixed order.
+    pub const ALL: [ViolationKind; 7] = [
+        ViolationKind::StaleTranslation,
+        ViolationKind::TftClaimsBasePage,
+        ViolationKind::DataDivergence,
+        ViolationKind::UseAfterFree,
+        ViolationKind::SweptLineResident,
+        ViolationKind::PartitionUnreachable,
+        ViolationKind::StalePhysicalMapping,
+    ];
+
     /// Stable kebab-case name, used by trace events and reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -57,6 +68,11 @@ impl ViolationKind {
             ViolationKind::PartitionUnreachable => "partition-unreachable",
             ViolationKind::StalePhysicalMapping => "stale-physical-mapping",
         }
+    }
+
+    /// The inverse of [`ViolationKind::name`], for store/bundle parsing.
+    pub fn from_name(name: &str) -> Option<ViolationKind> {
+        ViolationKind::ALL.iter().copied().find(|k| k.name() == name)
     }
 }
 
@@ -195,6 +211,10 @@ pub struct Violation {
     /// injector was active (the checker itself cannot know the run
     /// configuration). Boxed: the bundle carries the event tail.
     pub repro: Option<Box<crate::ReproBundle>>,
+    /// Where the simulator autosaved the bundle (`SEESAW_REPRO=<dir>`),
+    /// when it did: the durable pointer sweep reports and the runner's
+    /// failure memo hand out so a killed sweep never loses its repro.
+    pub autosaved: Option<std::path::PathBuf>,
 }
 
 impl std::fmt::Display for Violation {
@@ -538,6 +558,7 @@ impl ShadowChecker {
             detail,
             history: self.history.iter().cloned().collect(),
             repro: None,
+            autosaved: None,
         }
     }
 }

@@ -36,6 +36,63 @@ pub enum SimError {
     /// The differential shadow checker caught an invariant violation.
     /// Boxed because the diagnostic carries the event history.
     Check(Box<Violation>),
+    /// The cell's simulation panicked and the supervisor isolated it
+    /// (`catch_unwind`): the sweep survives, this cell reports the panic.
+    Panic {
+        /// Label of the plan cell that panicked.
+        cell: String,
+        /// Short content digest of the cell's configuration fingerprint
+        /// (the store's record name), so the failing config can be found
+        /// without replaying the whole plan.
+        fingerprint: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The supervisor's watchdog expired before the cell finished
+    /// (simulation or store write-back wedged past the configured
+    /// per-cell wall-clock budget).
+    Timeout {
+        /// Label of the plan cell that timed out.
+        cell: String,
+        /// The wall-clock budget that expired, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// The sweep's failure budget ([`crate::SweepPolicy::max_failures`])
+    /// was already exhausted, so this cell was never started.
+    Skipped {
+        /// Label of the plan cell that was skipped.
+        cell: String,
+    },
+}
+
+impl SimError {
+    /// Whether a supervised runner should retry this failure.
+    ///
+    /// Simulations are pure functions of their configuration, so every
+    /// simulation-level error ([`SimError::Mem`], [`SimError::PageFault`],
+    /// [`SimError::Check`]) recurs identically on a retry — those are
+    /// *permanent*. Only harness-level failures are *transient*: a panic
+    /// may come from an exhausted resource, and a timeout from a loaded
+    /// machine or a wedged store write-back, so both earn the supervisor's
+    /// capped backoff-and-retry treatment.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SimError::Panic { .. } | SimError::Timeout { .. })
+    }
+
+    /// The inverse of [`SimError::is_retryable`]: retrying cannot help.
+    pub fn is_permanent(&self) -> bool {
+        !self.is_retryable()
+    }
+
+    /// The autosaved repro-bundle path, when this is a checker violation
+    /// that was persisted under `SEESAW_REPRO` (see
+    /// [`Violation::autosaved`]).
+    pub fn bundle_path(&self) -> Option<&std::path::Path> {
+        match self {
+            SimError::Check(v) => v.autosaved.as_deref(),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -48,6 +105,20 @@ impl std::fmt::Display for SimError {
                 write!(f, "simulated page fault: va {va:#x} is not mapped")
             }
             SimError::Check(violation) => write!(f, "{violation}"),
+            SimError::Panic {
+                cell,
+                fingerprint,
+                message,
+            } => write!(
+                f,
+                "cell {cell:?} (config {fingerprint}) panicked: {message}"
+            ),
+            SimError::Timeout { cell, timeout_ms } => {
+                write!(f, "cell {cell:?} exceeded its {timeout_ms} ms watchdog")
+            }
+            SimError::Skipped { cell } => {
+                write!(f, "cell {cell:?} skipped: sweep failure budget exhausted")
+            }
         }
     }
 }

@@ -14,7 +14,12 @@
 //! the deterministic parallel experiment engine: independent grid cells
 //! run across a scoped worker pool and repeated configurations (notably
 //! the shared baselines) are memoized per process, bit-identical to a
-//! serial sweep.
+//! serial sweep. Sweeps are also crash-safe: with `SEESAW_STORE` set,
+//! completed cells persist to a content-addressed on-disk [`store`], so
+//! a killed sweep resumes from what already finished, and
+//! [`Plan::run_sweep`] supervises each cell — panic isolation, watchdog
+//! timeouts, deterministic retry backoff, and a configurable failure
+//! budget ([`SweepPolicy`]) under which survivors still complete.
 //!
 //! For robustness work, [`RunConfig::with_checker`] runs the
 //! `seesaw-check` differential shadow model in lockstep with the timing
@@ -51,14 +56,22 @@ mod report;
 pub mod repro;
 pub mod runner;
 mod stats;
+pub mod store;
 mod system;
 mod uncore;
 
-pub use config::{CpuKind, Frequency, L1DesignKind, ProbeSource, RunConfig, SchedulerHintPolicy};
+pub use config::{
+    CpuKind, Frequency, L1DesignKind, ProbeSource, RunConfig, SchedulerHintPolicy,
+    SupervisorConfig, SweepPolicy,
+};
 pub use chart::BarChart;
 pub use error::SimError;
 pub use report::Table;
-pub use runner::{CellRecord, MemoStats, Plan, PlanOutcomes, PlanRun};
+pub use runner::{
+    CellChaos, CellContext, CellRecord, FailedCell, MemoStats, Plan, PlanOutcomes, PlanRun,
+    SupervisorStats, SweepReport,
+};
+pub use store::{Store, StoreStats, StoredOutcome};
 pub use seesaw_check::{
     ChaosConfig, CheckerSummary, FaultConfig, FaultKind, FaultPoint, FaultSchedule,
     InjectionStats, ReproBundle, Violation,

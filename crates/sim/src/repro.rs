@@ -200,22 +200,39 @@ pub(crate) fn build_bundle(
 
 /// Best-effort autosave: when `SEESAW_REPRO=<dir>` is set, every bundle
 /// the simulator attaches is also written to
-/// `<dir>/repro-<kind>-<instruction>.json`. IO failures are swallowed —
-/// a diagnostics path must never turn a reported violation into a
-/// different error.
-pub(crate) fn autosave(bundle: &ReproBundle) {
-    let Ok(dir) = std::env::var("SEESAW_REPRO") else {
-        return;
-    };
+/// `<dir>/repro-<kind>-<instruction>.json`, and the path is returned so
+/// the violation (and the persistent result store's failure marker) can
+/// carry a durable pointer to it. IO failures — an unwritable or
+/// missing directory — log a warning and return `None`: a diagnostics
+/// path must never turn a reported violation into a different error,
+/// and the in-memory bundle still travels on the violation itself.
+pub(crate) fn autosave(bundle: &ReproBundle) -> Option<std::path::PathBuf> {
+    let dir = std::env::var("SEESAW_REPRO").ok()?;
     if dir.is_empty() {
-        return;
+        return None;
     }
-    let _ = std::fs::create_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "warning: SEESAW_REPRO={dir} could not be created ({e}); \
+             the repro bundle stays in-memory only"
+        );
+        return None;
+    }
     let path = std::path::Path::new(&dir).join(format!(
         "repro-{}-{}.json",
         bundle.violation.kind, bundle.violation.instruction
     ));
-    let _ = std::fs::write(path, bundle.to_json());
+    match std::fs::write(&path, bundle.to_json()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!(
+                "warning: repro bundle autosave to {} failed ({e}); \
+                 the bundle stays in-memory only",
+                path.display()
+            );
+            None
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -628,7 +645,9 @@ fn probe_batch(
     candidates: &mut u64,
 ) -> Vec<Option<Box<Violation>>> {
     *candidates += configs.len() as u64;
-    let mut plan = Plan::new();
+    // Shrinker probes fail by construction and never recur across
+    // processes, so they must not pollute a sweep's persistent store.
+    let mut plan = Plan::new().without_store();
     for (i, cfg) in configs.iter().enumerate() {
         plan.push(format!("shrink-probe-{i}"), cfg.clone());
     }

@@ -1,10 +1,11 @@
-//! Deterministic parallel experiment engine with memoized runs.
+//! Deterministic parallel experiment engine with memoized, supervised,
+//! crash-safe runs.
 //!
 //! The paper's evaluation is a large grid of *independent* simulations:
 //! every figure and table sweeps workloads × designs × knobs, and many
 //! cells (most prominently the baseline-VIPT runs every comparison
 //! divides by) recur across sweeps. This module gives every driver the
-//! same two-layer engine:
+//! same engine, in layers:
 //!
 //! * **A scoped worker pool.** [`Plan`] collects `(label, RunConfig)`
 //!   cells and [`Plan::run`] executes them across `std::thread::scope`
@@ -22,6 +23,29 @@
 //!   process and served from the cache afterwards. Determinism makes
 //!   this sound: a memoized result is the result a fresh run would
 //!   produce.
+//! * **A persistent store behind the cache.** With `SEESAW_STORE=<dir>`
+//!   set (or an explicit [`Plan::with_store`]), a memo miss consults the
+//!   on-disk [`crate::store`] before simulating, and every fresh outcome
+//!   is committed there from inside the supervised cell. A sweep killed
+//!   mid-run — `SIGKILL` included — re-executes only the cells that had
+//!   not committed, and the resumed results are bit-identical to an
+//!   undisturbed serial run (pinned by `tests/chaos.rs`).
+//! * **Per-cell supervision.** Every cell executes on its own named
+//!   thread under [`SupervisorConfig`]: a panicking cell is isolated
+//!   (`catch_unwind`) and reported as [`SimError::Panic`] carrying the
+//!   cell label and config digest; a wedged cell trips a wall-clock
+//!   watchdog ([`SimError::Timeout`]); transient failures earn capped
+//!   exponential backoff retries whose jitter is a pure function of
+//!   (seed, cell digest, attempt). Simulation-level failures are
+//!   permanent — determinism means they recur identically — and are
+//!   never retried.
+//! * **Graceful degradation.** [`Plan::run_sweep`] takes a
+//!   [`SweepPolicy`]: up to `max_failures` *permanent* cell failures do
+//!   not abort the sweep — survivors complete, cells past the budget are
+//!   skipped without running, and the [`SweepReport`] lists every failed
+//!   cell with its config digest and autosaved repro-bundle path.
+//!   [`Plan::run`] keeps fail-fast semantics for drivers that treat any
+//!   failure as fatal.
 //!
 //! The worker count defaults to the machine's available parallelism and
 //! can be pinned with the `SEESAW_THREADS` environment variable (used by
@@ -40,22 +64,44 @@
 //! ```
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, Once, OnceLock};
+use std::time::{Duration, Instant};
 
 use seesaw_trace::{ChromeTrace, Collect, MetricsRegistry};
 
-use crate::{RunConfig, RunResult, SimError, System};
+use crate::store::{self, Store, StoreStats, StoredOutcome};
+use crate::{RunConfig, RunResult, SimError, SupervisorConfig, SweepPolicy, System};
+
+/// A memoized failure: the error plus the durable pointer to its
+/// autosaved repro bundle, so a sweep resumed from the memo (or the
+/// persistent store behind it) still reports where the bundle lives.
+#[derive(Debug, Clone)]
+struct FailureEntry {
+    error: SimError,
+    bundle_path: Option<PathBuf>,
+}
+
+impl FailureEntry {
+    fn new(error: SimError) -> Self {
+        let bundle_path = error.bundle_path().map(|p| p.to_path_buf());
+        FailureEntry { error, bundle_path }
+    }
+}
 
 /// Process-wide memo cache state. Failures are memoized alongside
 /// results: runs are deterministic, so a config that failed once fails
 /// identically forever, and the repro shrinker leans on this — most of
 /// its delta-debugging candidates *fail by construction* and recur across
-/// bisection rounds.
+/// bisection rounds. Only simulation-level failures are memoized;
+/// harness-level ones ([`SimError::Panic`], [`SimError::Timeout`],
+/// [`SimError::Skipped`]) are circumstances of one execution, so a later
+/// plan retries those cells.
 struct MemoState {
     results: HashMap<String, RunResult>,
-    failures: HashMap<String, SimError>,
+    failures: HashMap<String, FailureEntry>,
     hits: u64,
     misses: u64,
 }
@@ -77,7 +123,8 @@ fn memo() -> &'static Mutex<MemoState> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoStats {
     /// Plan cells served from the cache (including duplicates inside one
-    /// plan, which are simulated once).
+    /// plan, which are simulated once, and cells served from the
+    /// persistent store).
     pub hits: u64,
     /// Plan cells that required a fresh simulation.
     pub misses: u64,
@@ -238,16 +285,335 @@ where
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Supervision: chaos hook, panic silencing, supervised cell execution.
+// ---------------------------------------------------------------------------
+
+/// What the chaos hook tells a cell to do (see [`set_cell_chaos_hook`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellChaos {
+    /// Run normally.
+    Continue,
+    /// Panic before simulating — exercises the supervisor's
+    /// `catch_unwind` isolation.
+    Panic,
+    /// Sleep this long before simulating — exercises the watchdog.
+    HangMs(u64),
+    /// Simulate normally, then sleep this long before the store
+    /// write-back completes — exercises a timeout firing during
+    /// write-back.
+    HangAfterRunMs(u64),
+}
+
+/// What the chaos hook sees about the cell it is deciding for.
+#[derive(Debug)]
+pub struct CellContext<'a> {
+    /// The plan label of the cell.
+    pub label: &'a str,
+    /// Which attempt this is (0 = first).
+    pub attempt: u32,
+}
+
+/// The chaos hook's type: called with the cell's context, returns the
+/// fault to inject (or [`CellChaos::Continue`]).
+pub type ChaosHook = Arc<dyn Fn(&CellContext<'_>) -> CellChaos + Send + Sync>;
+
+static CHAOS_HOOK: OnceLock<Mutex<Option<ChaosHook>>> = OnceLock::new();
+
+fn chaos_hook_slot() -> &'static Mutex<Option<ChaosHook>> {
+    CHAOS_HOOK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or with `None`, removes) the process-wide chaos hook the
+/// supervisor consults at the top of every cell attempt — *inside* the
+/// supervised thread, so injected panics and hangs travel the real
+/// `catch_unwind`/watchdog paths. Test-only machinery: the chaos tests
+/// and `chaos_smoke` use it to fault the harness on demand; production
+/// sweeps never install one.
+pub fn set_cell_chaos_hook(hook: Option<ChaosHook>) {
+    *chaos_hook_slot().lock().expect("chaos hook lock") = hook;
+}
+
+fn consult_chaos(ctx: &CellContext<'_>) -> CellChaos {
+    let hook = chaos_hook_slot().lock().expect("chaos hook lock").clone();
+    match hook {
+        Some(h) => h(ctx),
+        None => CellChaos::Continue,
+    }
+}
+
+/// Prefix of every supervised cell thread's name; the panic silencer
+/// keys on it.
+const CELL_THREAD_PREFIX: &str = "seesaw-cell-";
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// stderr backtrace for supervised cell threads — their panics are
+/// *caught*, converted to [`SimError::Panic`], and reported through the
+/// sweep, so the default print would be noise (and the chaos tests panic
+/// on purpose, hundreds of times). Every other thread keeps the previous
+/// hook's behavior.
+fn install_cell_panic_silencer() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let silenced = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(CELL_THREAD_PREFIX));
+            if !silenced {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Per-plan supervision tally, folded into the process-wide counters
+/// when the plan finishes.
+#[derive(Default)]
+struct SupervisorTally {
+    cells: AtomicU64,
+    panics_caught: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    permanent_failures: AtomicU64,
+    cells_skipped: AtomicU64,
+}
+
+impl SupervisorTally {
+    fn snapshot(&self) -> SupervisorStats {
+        SupervisorStats {
+            cells: self.cells.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            permanent_failures: self.permanent_failures.load(Ordering::Relaxed),
+            cells_skipped: self.cells_skipped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counters of supervised cell execution, exported under the
+/// `supervisor.*` namespace. [`SweepReport::supervisor`] carries one
+/// plan's tally; [`supervisor_stats`] the process-wide accumulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Cells executed under supervision (not counting retries).
+    pub cells: u64,
+    /// Panics isolated by `catch_unwind` across all attempts.
+    pub panics_caught: u64,
+    /// Watchdog expirations across all attempts.
+    pub timeouts: u64,
+    /// Retry attempts granted (each preceded by a backoff sleep).
+    pub retries: u64,
+    /// Cells whose final outcome was a permanent failure.
+    pub permanent_failures: u64,
+    /// Cells never started because the sweep's failure budget
+    /// ([`SweepPolicy::max_failures`]) was already exhausted.
+    pub cells_skipped: u64,
+}
+
+impl Collect for SupervisorStats {
+    fn collect(&self, prefix: &str, out: &mut MetricsRegistry) {
+        let SupervisorStats {
+            cells,
+            panics_caught,
+            timeouts,
+            retries,
+            permanent_failures,
+            cells_skipped,
+        } = *self;
+        out.set_u64(&format!("{prefix}.cells"), cells);
+        out.set_u64(&format!("{prefix}.panics_caught"), panics_caught);
+        out.set_u64(&format!("{prefix}.timeouts"), timeouts);
+        out.set_u64(&format!("{prefix}.retries"), retries);
+        out.set_u64(&format!("{prefix}.permanent_failures"), permanent_failures);
+        out.set_u64(&format!("{prefix}.cells_skipped"), cells_skipped);
+    }
+}
+
+static SUPERVISOR_TOTALS: OnceLock<Mutex<SupervisorStats>> = OnceLock::new();
+
+fn supervisor_totals() -> &'static Mutex<SupervisorStats> {
+    SUPERVISOR_TOTALS.get_or_init(|| Mutex::new(SupervisorStats::default()))
+}
+
+/// The supervision counters accumulated so far in this process.
+pub fn supervisor_stats() -> SupervisorStats {
+    *supervisor_totals().lock().expect("supervisor lock")
+}
+
+fn fold_supervisor_totals(delta: SupervisorStats) {
+    let mut t = supervisor_totals().lock().expect("supervisor lock");
+    t.cells += delta.cells;
+    t.panics_caught += delta.panics_caught;
+    t.timeouts += delta.timeouts;
+    t.retries += delta.retries;
+    t.permanent_failures += delta.permanent_failures;
+    t.cells_skipped += delta.cells_skipped;
+}
+
+/// One attempt of one cell on its own named thread. The simulation, the
+/// chaos hook, and the store write-back all happen *inside* the thread,
+/// behind `catch_unwind`, so a panic anywhere in that path is isolated
+/// and a wedge anywhere in that path (write-back included) trips the
+/// watchdog. A timed-out thread is leaked — safe Rust cannot kill a
+/// thread — which is harmless: its eventual store write (if any) goes
+/// through the same atomic tmp+rename commit as everyone else's.
+fn attempt_cell(
+    label: &str,
+    key: &str,
+    config: &RunConfig,
+    attempt: u32,
+    store_handle: Option<&Arc<Store>>,
+    timeout: Option<Duration>,
+) -> Result<RunResult, SimError> {
+    install_cell_panic_silencer();
+    let digest = store::digest(key);
+    let (tx, rx) = mpsc::channel::<Result<RunResult, SimError>>();
+    let thread_label = label.to_string();
+    let thread_key = key.to_string();
+    let thread_config = config.clone();
+    let thread_store = store_handle.cloned();
+    let thread_digest = digest.clone();
+    let spawned = std::thread::Builder::new()
+        .name(format!("{CELL_THREAD_PREFIX}{}", &digest[..8]))
+        .spawn(move || {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut hang_after_ms = None;
+                match consult_chaos(&CellContext {
+                    label: &thread_label,
+                    attempt,
+                }) {
+                    CellChaos::Continue => {}
+                    CellChaos::Panic => panic!("chaos: injected cell panic"),
+                    CellChaos::HangMs(ms) => {
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                    CellChaos::HangAfterRunMs(ms) => hang_after_ms = Some(ms),
+                }
+                let result = System::build(&thread_config).and_then(System::run);
+                if let Some(ms) = hang_after_ms {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                if let Some(store) = &thread_store {
+                    match &result {
+                        Ok(r) => store.put_result(&thread_key, r),
+                        Err(e) => store.put_failure(&thread_key, e),
+                    }
+                }
+                result
+            }));
+            let message = match outcome {
+                Ok(result) => result,
+                Err(payload) => Err(SimError::Panic {
+                    cell: thread_label,
+                    fingerprint: thread_digest,
+                    message: panic_message(payload),
+                }),
+            };
+            let _ = tx.send(message);
+        });
+    if let Err(e) = spawned {
+        return Err(SimError::Panic {
+            cell: label.to_string(),
+            fingerprint: digest,
+            message: format!("cell thread could not be spawned: {e}"),
+        });
+    }
+    match timeout {
+        Some(t) => rx.recv_timeout(t).unwrap_or_else(|_| {
+            Err(SimError::Timeout {
+                cell: label.to_string(),
+                timeout_ms: t.as_millis() as u64,
+            })
+        }),
+        None => rx.recv().unwrap_or_else(|_| {
+            Err(SimError::Panic {
+                cell: label.to_string(),
+                fingerprint: digest,
+                message: "cell thread exited without reporting".to_string(),
+            })
+        }),
+    }
+}
+
+/// Supervised execution of one cell: attempts under
+/// [`attempt_cell`], retrying transient failures per the config's
+/// backoff schedule. Pure control flow — all nondeterminism (which
+/// attempt succeeds) comes from the chaos hook or the host, and the
+/// backoff delays themselves are a pure function of (seed, digest,
+/// attempt).
+fn run_supervised(
+    label: &str,
+    key: &str,
+    config: &RunConfig,
+    sup: &SupervisorConfig,
+    store_handle: Option<&Arc<Store>>,
+    tally: &SupervisorTally,
+) -> Result<RunResult, SimError> {
+    tally.cells.fetch_add(1, Ordering::Relaxed);
+    let digest = store::digest64(key);
+    let mut attempt = 0u32;
+    loop {
+        let outcome = attempt_cell(label, key, config, attempt, store_handle, sup.timeout);
+        match &outcome {
+            Err(SimError::Panic { .. }) => {
+                tally.panics_caught.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(SimError::Timeout { .. }) => {
+                tally.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        match outcome {
+            Ok(result) => return Ok(result),
+            Err(e) if e.is_retryable() && attempt < sup.max_retries => {
+                tally.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(sup.backoff_delay(digest, attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans.
+// ---------------------------------------------------------------------------
+
+/// Which persistent store a plan consults (and commits to).
+#[derive(Debug, Clone, Default)]
+enum StoreMode {
+    /// The process store named by `SEESAW_STORE`, when set.
+    #[default]
+    Env,
+    /// An explicit store handle (tests use this to avoid env coupling).
+    Explicit(Arc<Store>),
+    /// No persistence, even if `SEESAW_STORE` is set.
+    Disabled,
+}
+
 /// An ordered grid of labelled simulation cells.
 ///
 /// Drivers push one cell per `System::build(..)?.run()?` they need,
 /// remember the returned indices, call [`Plan::run`] once, and assemble
 /// their rows from the ordered results. See the module docs for the
-/// execution and memoization model.
+/// execution, memoization, persistence, and supervision model.
 #[derive(Debug, Default)]
 pub struct Plan {
     cells: Vec<(String, RunConfig)>,
     threads: Option<usize>,
+    store: StoreMode,
 }
 
 impl Plan {
@@ -260,8 +626,31 @@ impl Plan {
     /// exercise the parallel path regardless of the host's core count).
     pub fn with_threads(threads: usize) -> Self {
         Self {
-            cells: Vec::new(),
             threads: Some(threads.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Builder: persist and resume through this explicit store instead
+    /// of the `SEESAW_STORE` process store.
+    pub fn with_store(mut self, store: Arc<Store>) -> Self {
+        self.store = StoreMode::Explicit(store);
+        self
+    }
+
+    /// Builder: never touch a persistent store, even if `SEESAW_STORE`
+    /// is set (replays and shrinker probes use this — their cells fail
+    /// by construction and must not pollute a sweep's store).
+    pub fn without_store(mut self) -> Self {
+        self.store = StoreMode::Disabled;
+        self
+    }
+
+    fn resolve_store(&self) -> Option<Arc<Store>> {
+        match &self.store {
+            StoreMode::Env => store::process_store().cloned(),
+            StoreMode::Explicit(s) => Some(s.clone()),
+            StoreMode::Disabled => None,
         }
     }
 
@@ -314,46 +703,107 @@ impl Plan {
     /// `Result`. This is the entry point for callers that *expect*
     /// failures — the repro shrinker probes dozens of configurations per
     /// round precisely to learn which ones still violate the checker.
+    ///
+    /// Equivalent to [`Plan::run_sweep`] with the environment-derived
+    /// [`SweepPolicy`] (unlimited failure tolerance).
     pub fn run_each(self) -> PlanOutcomes {
+        self.run_sweep(SweepPolicy::from_env()).into_outcomes()
+    }
+
+    /// The crash-safe sweep entry point: executes every cell under
+    /// supervision (see the module docs), tolerating up to
+    /// `policy.max_failures` permanent cell failures — survivors
+    /// complete, cells past the budget are skipped without running
+    /// ([`SimError::Skipped`]) — and reports every failure with its
+    /// config digest and autosaved repro-bundle path.
+    ///
+    /// With more than one worker, *which* cells land past the budget
+    /// depends on completion timing; pin the plan to one thread
+    /// ([`Plan::with_threads`]) when a test needs the skip set to be
+    /// deterministic. Everything else — results, failures, backoff
+    /// delays — is deterministic at any worker count.
+    pub fn run_sweep(self, policy: SweepPolicy) -> SweepReport {
         let threads = self.threads.unwrap_or_else(worker_threads);
         let origin = process_origin();
+        let store_handle = self.resolve_store();
         let keys: Vec<String> = self.cells.iter().map(|(_, c)| fingerprint(c)).collect();
 
-        // Distinct configurations not already memoized become jobs.
-        let mut jobs: Vec<(String, RunConfig)> = Vec::new();
+        // Distinct configurations not already memoized become jobs —
+        // after a detour through the persistent store, which turns a
+        // relaunched sweep's would-be jobs back into hits.
+        let mut jobs: Vec<(String, String, RunConfig)> = Vec::new();
         {
-            let m = memo().lock().expect("memo lock");
-            let mut queued: HashSet<&str> = HashSet::new();
-            for ((_, cfg), key) in self.cells.iter().zip(&keys) {
-                if !m.results.contains_key(key.as_str())
-                    && !m.failures.contains_key(key.as_str())
-                    && queued.insert(key)
+            let mut m = memo().lock().expect("memo lock");
+            let mut queued: HashSet<String> = HashSet::new();
+            for ((label, cfg), key) in self.cells.iter().zip(&keys) {
+                if m.results.contains_key(key.as_str())
+                    || m.failures.contains_key(key.as_str())
+                    || queued.contains(key.as_str())
                 {
-                    jobs.push((key.clone(), cfg.clone()));
+                    continue;
                 }
+                if let Some(store) = &store_handle {
+                    match store.get(key) {
+                        Some(StoredOutcome::Result(result)) => {
+                            m.results.insert(key.clone(), *result);
+                            continue;
+                        }
+                        Some(StoredOutcome::Failure(error)) => {
+                            m.failures.insert(key.clone(), FailureEntry::new(error));
+                            continue;
+                        }
+                        None => {}
+                    }
+                }
+                queued.insert(key.clone());
+                jobs.push((key.clone(), label.clone(), cfg.clone()));
             }
         }
 
-        // Like `parallel_map_with`, but each worker stamps its outputs
-        // with its own index and the job's wall-clock span, so the plan
-        // journal can reconstruct the schedule for the Chrome trace.
+        // Like `parallel_map_with`, but each worker runs its jobs under
+        // the supervisor, honors the sweep's failure budget, and stamps
+        // its outputs with its own index and the job's wall-clock span,
+        // so the plan journal can reconstruct the schedule.
         type JobOutcome = (Result<RunResult, SimError>, usize, u64, u64);
         let workers = threads.clamp(1, jobs.len().max(1));
         let next = AtomicUsize::new(0);
+        let permanent = AtomicUsize::new(0);
+        let tally = SupervisorTally::default();
         let slots: Vec<Mutex<Option<JobOutcome>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let next = &next;
+                let permanent = &permanent;
+                let tally = &tally;
                 let slots = &slots;
                 let jobs = &jobs;
+                let store_handle = &store_handle;
+                let sup = &policy.supervisor;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
                     }
+                    let (key, label, cfg) = &jobs[i];
                     let start_us = origin.elapsed().as_micros() as u64;
-                    let outcome = System::build(&jobs[i].1).and_then(System::run);
+                    let budget_spent = policy
+                        .max_failures
+                        .is_some_and(|n| permanent.load(Ordering::Relaxed) > n);
+                    let outcome = if budget_spent {
+                        tally.cells_skipped.fetch_add(1, Ordering::Relaxed);
+                        Err(SimError::Skipped {
+                            cell: label.clone(),
+                        })
+                    } else {
+                        let out =
+                            run_supervised(label, key, cfg, sup, store_handle.as_ref(), tally);
+                        if out.as_ref().is_err() {
+                            tally.permanent_failures.fetch_add(1, Ordering::Relaxed);
+                            permanent.fetch_add(1, Ordering::Relaxed);
+                        }
+                        out
+                    };
                     let dur_us =
                         (origin.elapsed().as_micros() as u64).saturating_sub(start_us).max(1);
                     *slots[i].lock().expect("slot lock") =
@@ -361,7 +811,7 @@ impl Plan {
                 });
             }
         });
-        let outcomes: Vec<JobOutcome> = slots
+        let job_outcomes: Vec<JobOutcome> = slots
             .into_iter()
             .map(|s| {
                 s.into_inner()
@@ -382,23 +832,35 @@ impl Plan {
             },
         };
 
+        // Memoize fresh outcomes. Harness-level failures (panic,
+        // timeout, skip) are circumstances of this execution, not
+        // properties of the configuration, so they stay local — a later
+        // plan (or a relaunch) retries those cells.
+        let mut local: HashMap<String, Result<RunResult, SimError>> = HashMap::new();
         let mut spans: HashMap<String, (usize, u64, u64)> = HashMap::new();
         {
             let mut m = memo().lock().expect("memo lock");
             m.misses += jobs.len() as u64;
             m.hits += (keys.len() - jobs.len()) as u64;
-            for ((key, _), (outcome, worker, start_us, dur_us)) in
-                jobs.into_iter().zip(outcomes)
+            for ((key, _, _), (outcome, worker, start_us, dur_us)) in
+                jobs.into_iter().zip(job_outcomes)
             {
                 spans.insert(key.clone(), (worker, start_us, dur_us));
-                match outcome {
+                match &outcome {
                     Ok(result) => {
-                        m.results.insert(key, result);
+                        m.results.insert(key.clone(), result.clone());
                     }
-                    Err(e) => {
-                        m.failures.insert(key, e);
+                    Err(
+                        e @ (SimError::Check(_)
+                        | SimError::Mem { .. }
+                        | SimError::PageFault { .. }),
+                    ) => {
+                        m.failures
+                            .insert(key.clone(), FailureEntry::new(e.clone()));
                     }
+                    Err(SimError::Panic { .. } | SimError::Timeout { .. } | SimError::Skipped { .. }) => {}
                 }
+                local.insert(key, outcome);
             }
         }
 
@@ -434,19 +896,48 @@ impl Plan {
             .expect("session lock")
             .extend(journal.iter().cloned());
 
-        let m = memo().lock().expect("memo lock");
-        let outcomes = keys
-            .iter()
-            .map(|k| match m.results.get(k.as_str()) {
-                Some(r) => Ok(r.clone()),
-                None => Err(m.failures[k.as_str()].clone()),
-            })
-            .collect();
-        PlanOutcomes {
+        // Assemble plan-order outcomes and the failure summary.
+        let mut outcomes: Vec<Result<RunResult, SimError>> = Vec::with_capacity(keys.len());
+        let mut failed: Vec<FailedCell> = Vec::new();
+        {
+            let m = memo().lock().expect("memo lock");
+            for (i, ((label, _), key)) in self.cells.iter().zip(&keys).enumerate() {
+                let outcome = match local.get(key.as_str()) {
+                    Some(o) => o.clone(),
+                    None => match m.results.get(key.as_str()) {
+                        Some(r) => Ok(r.clone()),
+                        None => Err(m.failures[key.as_str()].error.clone()),
+                    },
+                };
+                if let Err(error) = &outcome {
+                    let bundle_path = m
+                        .failures
+                        .get(key.as_str())
+                        .and_then(|f| f.bundle_path.clone())
+                        .or_else(|| error.bundle_path().map(|p| p.to_path_buf()));
+                    failed.push(FailedCell {
+                        index: i,
+                        label: label.clone(),
+                        fingerprint: store::digest(key),
+                        bundle_path,
+                        error: error.clone(),
+                    });
+                }
+                outcomes.push(outcome);
+            }
+        }
+
+        let supervisor = tally.snapshot();
+        fold_supervisor_totals(supervisor);
+
+        SweepReport {
             outcomes,
+            failed,
             memo: memo_delta,
             journal,
             threads,
+            supervisor,
+            store: store_handle.map(|s| s.stats()),
         }
     }
 }
@@ -463,6 +954,116 @@ pub struct PlanOutcomes {
     pub journal: Vec<CellRecord>,
     /// Worker threads the plan ran with.
     pub threads: usize,
+}
+
+/// One failed cell in a [`SweepReport`].
+#[derive(Debug, Clone)]
+pub struct FailedCell {
+    /// The cell's index in plan order.
+    pub index: usize,
+    /// The label the driver pushed the cell with.
+    pub label: String,
+    /// The 128-bit content digest of the cell's configuration
+    /// fingerprint — the persistent store's record name, so the failing
+    /// config can be located without replaying the plan.
+    pub fingerprint: String,
+    /// Where the autosaved repro bundle lives (checker violations under
+    /// `SEESAW_REPRO` only).
+    pub bundle_path: Option<PathBuf>,
+    /// The failure itself.
+    pub error: SimError,
+}
+
+/// The outcome of [`Plan::run_sweep`]: per-cell outcomes plus the
+/// sweep's failure summary, supervision tally, and store traffic.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-cell outcomes in plan order.
+    pub outcomes: Vec<Result<RunResult, SimError>>,
+    /// Every cell whose outcome is an error, in plan order (skipped
+    /// cells included, distinguishable by [`SimError::Skipped`]).
+    pub failed: Vec<FailedCell>,
+    /// Memo traffic attributable to this plan alone.
+    pub memo: MemoStats,
+    /// Per-cell schedule, in plan order.
+    pub journal: Vec<CellRecord>,
+    /// Worker threads the plan ran with.
+    pub threads: usize,
+    /// This plan's supervision tally.
+    pub supervisor: SupervisorStats,
+    /// The consulted store's cumulative traffic counters (`None` when
+    /// the plan ran without persistence).
+    pub store: Option<StoreStats>,
+}
+
+impl SweepReport {
+    /// True when every cell completed.
+    pub fn all_ok(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Cells skipped because the failure budget was exhausted.
+    pub fn skipped(&self) -> impl Iterator<Item = &FailedCell> {
+        self.failed
+            .iter()
+            .filter(|f| matches!(f.error, SimError::Skipped { .. }))
+    }
+
+    /// Drops the sweep-specific summary, keeping the per-cell outcomes
+    /// (the [`Plan::run_each`] return shape).
+    pub fn into_outcomes(self) -> PlanOutcomes {
+        let SweepReport {
+            outcomes,
+            failed: _,
+            memo,
+            journal,
+            threads,
+            supervisor: _,
+            store: _,
+        } = self;
+        PlanOutcomes {
+            outcomes,
+            memo,
+            journal,
+            threads,
+        }
+    }
+
+    /// The sweep-level counters as a metrics registry — `memo.*` and
+    /// `supervisor.*` always, `store.*` when a persistent store was
+    /// active — so harness health exports through the same telemetry
+    /// surface as simulation results.
+    pub fn metrics(&self) -> seesaw_trace::MetricsRegistry {
+        use seesaw_trace::Collect;
+        let mut m = seesaw_trace::MetricsRegistry::new();
+        self.memo.collect("memo", &mut m);
+        self.supervisor.collect("supervisor", &mut m);
+        if let Some(s) = &self.store {
+            s.collect("store", &mut m);
+        }
+        m
+    }
+
+    /// A human-readable failure summary, one line per failed cell (empty
+    /// string when all cells completed) — what the sweep binaries print
+    /// before exiting nonzero.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for f in &self.failed {
+            out.push_str(&format!(
+                "cell {} ({}, config {}): {}",
+                f.index,
+                f.label,
+                &f.fingerprint[..8.min(f.fingerprint.len())],
+                f.error
+            ));
+            if let Some(p) = &f.bundle_path {
+                out.push_str(&format!(" [repro: {}]", p.display()));
+            }
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// One cell's entry in a [`PlanRun`] journal.
@@ -677,6 +1278,37 @@ mod tests {
         let mut plan = Plan::with_threads(2);
         plan.push("bad once more", bad);
         assert!(matches!(plan.run(), Err(SimError::Check(_))));
+    }
+
+    #[test]
+    fn run_sweep_reports_failed_cells_with_digests() {
+        let chaos = seesaw_check::ChaosConfig {
+            drop_tft_invalidation_on_splinter: true,
+            ..Default::default()
+        };
+        let bad = RunConfig::quick("redis")
+            .design(L1DesignKind::Seesaw)
+            .with_checker()
+            .with_faults(
+                seesaw_check::FaultConfig::all(0xfa17_5eed)
+                    .mean_interval(2_000)
+                    .chaos(chaos),
+            );
+        let good = RunConfig::quick("astar").instructions(35_000);
+        let mut plan = Plan::with_threads(2);
+        plan.push("violates", bad.clone());
+        plan.push("fine", good);
+        let report = plan.run_sweep(SweepPolicy::from_env());
+        assert!(!report.all_ok());
+        assert_eq!(report.failed.len(), 1);
+        let f = &report.failed[0];
+        assert_eq!(f.index, 0);
+        assert_eq!(f.label, "violates");
+        assert_eq!(f.fingerprint, store::digest(&fingerprint(&bad)));
+        assert!(matches!(f.error, SimError::Check(_)));
+        assert!(report.outcomes[1].is_ok());
+        assert!(report.summary().contains("violates"));
+        assert_eq!(report.skipped().count(), 0);
     }
 
     #[test]

@@ -746,7 +746,7 @@ impl System {
                     &v,
                     sink.tail_jsonl(crate::repro::EVENT_TAIL_LINES),
                 );
-                crate::repro::autosave(&bundle);
+                v.autosaved = crate::repro::autosave(&bundle);
                 v.repro = Some(Box::new(bundle));
             }
         }

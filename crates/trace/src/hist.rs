@@ -33,6 +33,24 @@ impl Log2Histogram {
         Self::default()
     }
 
+    /// Number of buckets ([`Log2Histogram::buckets`] always has this
+    /// length).
+    pub const BUCKETS: usize = BUCKETS;
+
+    /// Reassembles a histogram from its raw parts — the inverse of
+    /// reading [`Log2Histogram::buckets`], [`Log2Histogram::count`] and
+    /// [`Log2Histogram::sum`]. Used by the persistent result store to
+    /// round-trip run results bit-exactly; the caller is trusted to pass
+    /// a consistent triple (the store validates with a whole-record
+    /// checksum instead).
+    pub fn from_parts(buckets: [u64; BUCKETS], count: u64, sum: u64) -> Self {
+        Log2Histogram {
+            buckets,
+            count,
+            sum,
+        }
+    }
+
     fn bucket_of(value: u64) -> usize {
         (64 - value.leading_zeros()) as usize
     }

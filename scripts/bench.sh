@@ -10,6 +10,13 @@
 # the full 2M budget has identical parallel/memo structure, only longer),
 # writing BENCH_runtime.json at the repo root. SEESAW_THREADS pins the
 # worker count; it defaults to the machine's available parallelism.
+#
+# Regression gate: when the out-file already exists (the committed
+# trajectory), each binary's fresh wall-clock is diffed against it and
+# any cell more than 15% slower than a baseline of at least 0.5 s fails
+# the script — so engine speed never silently regresses. Set
+# SEESAW_BENCH_GATE=off to record a new trajectory without gating
+# (e.g. on a different machine).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +34,18 @@ threads="${SEESAW_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 trace_enabled=$([ -n "${SEESAW_TRACE:-}" ] && echo true || echo false)
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+baseline="$(mktemp)"
+regressions="$(mktemp)"
+trap 'rm -f "$tmp" "$baseline" "$regressions"' EXIT
+
+# Snapshot the committed trajectory before overwriting it: lines of
+# "<bin> <wall_seconds>", scraped from the existing out-file.
+gate="${SEESAW_BENCH_GATE:-on}"
+if [ -f "$out" ] && [ "$gate" != "off" ]; then
+  grep -o '"[a-z0-9]*": { "wall_seconds": [0-9.]*' "$out" \
+    | sed 's/"\([a-z0-9]*\)": { "wall_seconds": \([0-9.]*\)/\1 \2/' \
+    > "$baseline" || true
+fi
 
 {
   echo "{"
@@ -50,6 +68,15 @@ trap 'rm -f "$tmp"' EXIT
       hits=$(echo "$memo" | awk '{print $2}')
       misses=$(echo "$memo" | awk '{print $5}')
     fi
+    # Diff against the committed trajectory: >15% slower than a
+    # baseline of >= 0.5 s is a regression (sub-second cells are noise).
+    old=$(awk -v b="$bin" '$1 == b { print $2 }' "$baseline")
+    if [ -n "$old" ]; then
+      awk -v bin="$bin" -v old="$old" -v new="$secs" 'BEGIN {
+        if (old >= 0.5 && new > old * 1.15)
+          printf "  %s: %.3fs -> %.3fs (+%.0f%%)\n", bin, old, new, (new / old - 1) * 100
+      }' >> "$regressions"
+    fi
     [ "$first" = 1 ] || echo ","
     first=0
     printf '    "%s": { "wall_seconds": %s, "memo_hits": %s, "memo_misses": %s }' \
@@ -61,3 +88,10 @@ trap 'rm -f "$tmp"' EXIT
 } > "$out"
 
 echo "wrote $out"
+
+if [ -s "$regressions" ]; then
+  echo "error: wall-clock regressions (>15% vs committed ${out}):" >&2
+  cat "$regressions" >&2
+  echo "(investigate, or re-baseline with SEESAW_BENCH_GATE=off)" >&2
+  exit 1
+fi

@@ -37,6 +37,12 @@ trap 'rm -rf "$repro_dir"' EXIT
 ./target/release/repro shrink "$repro_dir/bundle.json" --out "$repro_dir/shrunk.json"
 ./target/release/repro replay "$repro_dir/shrunk.json"
 
+echo "==> chaos smoke (4 workers): injected panic + hang isolated, survivors complete"
+SEESAW_THREADS=4 ./target/release/chaos_smoke inject
+
+echo "==> kill-and-resume smoke: SIGKILL mid-sweep, corrupt a record, resume bit-identical"
+./target/release/chaos_smoke crash-resume
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
