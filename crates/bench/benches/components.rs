@@ -1,12 +1,13 @@
 //! Criterion microbenchmarks of the hot data structures: the SEESAW L1
 //! lookup paths (Table I's cases), the TFT, the baseline cache, the TLB
-//! hierarchy, the buddy allocator, and the trace generator.
+//! hierarchy, the partition decoder's way-mask selection, the buddy
+//! allocator, and the trace generator (per-reference and batched/packed).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use seesaw_cache::{CacheConfig, IndexPolicy, SetAssocCache, WayMask};
 use seesaw_core::{
-    BaselineL1, L1DataCache, L1Request, L1Timing, SeesawConfig, SeesawL1,
+    BaselineL1, L1DataCache, L1Request, L1Timing, PartitionDecoder, SeesawConfig, SeesawL1,
     TranslationFilterTable,
 };
 use seesaw_mem::{
@@ -81,11 +82,45 @@ fn bench_tft(c: &mut Criterion) {
 }
 
 fn bench_cache_array(c: &mut Criterion) {
-    c.bench_function("set_assoc_read_hit", |b| {
+    let mut group = c.benchmark_group("set_assoc");
+
+    group.bench_function("read_hit_full_mask", |b| {
         let cfg = CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
         let mut cache = SetAssocCache::new(cfg);
         cache.fill(3, 0x42, WayMask::all(8), false);
         b.iter(|| black_box(cache.read(3, 0x42, WayMask::all(8))));
+    });
+
+    group.bench_function("read_hit_partition_mask", |b| {
+        let cfg = CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
+        let mut cache = SetAssocCache::new(cfg);
+        let mask = WayMask::partition(1, 2, 8);
+        cache.fill(3, 0x42, mask, false);
+        b.iter(|| black_box(cache.read(3, 0x42, mask)));
+    });
+
+    group.bench_function("write_hit_full_mask", |b| {
+        let cfg = CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
+        let mut cache = SetAssocCache::new(cfg);
+        cache.fill(3, 0x42, WayMask::all(8), true);
+        b.iter(|| black_box(cache.write(3, 0x42, WayMask::all(8))));
+    });
+
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    c.bench_function("partition_way_mask_select", |b| {
+        // 32 KB / 8-way / 64 B geometry with 2 partitions: the Fig. 4
+        // decode — VA bit 12 picks the partition, whose way mask gates
+        // the lookup. This is on the path of every SEESAW L1 access.
+        let dec = PartitionDecoder::new(64, 8, 64, 2);
+        let mut va = 0x4000_0000u64;
+        b.iter(|| {
+            va = va.wrapping_add(0x1040);
+            let p = dec.partition_of_va(VirtAddr::new(black_box(va)));
+            black_box(dec.mask_of(p))
+        });
     });
 }
 
@@ -113,11 +148,43 @@ fn bench_buddy(c: &mut Criterion) {
 }
 
 fn bench_trace_generator(c: &mut Criterion) {
-    c.bench_function("trace_generator_next_ref", |b| {
+    let mut group = c.benchmark_group("trace_generator");
+
+    group.bench_function("next_ref", |b| {
         let spec = catalog()[0];
         let mut generator = TraceGenerator::new(&spec, 1);
         b.iter(|| black_box(generator.next_ref()));
     });
+
+    group.bench_function("fill_refs_64", |b| {
+        // The batched form the simulate() prewarm uses: 64-reference
+        // chunks into a reused buffer, then packed to u64 words.
+        let spec = catalog()[0];
+        let mut generator = TraceGenerator::new(&spec, 1);
+        let mut scratch = Vec::with_capacity(64);
+        b.iter(|| {
+            generator.fill_refs(&mut scratch, 64);
+            black_box(scratch.iter().map(|r| r.pack()).sum::<u64>())
+        });
+    });
+
+    group.bench_function("replay_unpack", |b| {
+        // The measured loop's per-reference cost when the stream is
+        // served from the packed replay buffer instead of the generator.
+        let spec = catalog()[0];
+        let mut generator = TraceGenerator::new(&spec, 1);
+        let mut scratch = Vec::new();
+        generator.fill_refs(&mut scratch, 4096);
+        let packed: Vec<u64> = scratch.iter().map(|r| r.pack()).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let r = seesaw_workloads::TraceRef::unpack(packed[i & 4095]);
+            i += 1;
+            black_box(r)
+        });
+    });
+
+    group.finish();
 }
 
 criterion_group!(
@@ -126,6 +193,7 @@ criterion_group!(
     bench_baseline_l1,
     bench_tft,
     bench_cache_array,
+    bench_partition,
     bench_tlb,
     bench_buddy,
     bench_trace_generator

@@ -1,0 +1,71 @@
+//! Minimal hot-loop profiling harness (see EXPERIMENTS.md, "Profiling
+//! the hot loop"): min-of-7 build/run wall-clock for one cell plus raw
+//! generator throughput, with nothing else in the process — the target
+//! you point `perf record` / `perf stat` at when a figure-level number
+//! moves and you want to know which phase did it.
+//!
+//!     cargo build --release -p seesaw-bench --examples
+//!     ./target/release/examples/hotprof [workload] [budget]
+//!
+//! Defaults: astar, 250 k instructions. Pair with `SEESAW_PHASE_TIMING=1`
+//! to split the run into prewarm / warmup / measured on stderr.
+
+use std::time::Instant;
+
+use seesaw_sim::{L1DesignKind, RunConfig, System};
+use seesaw_workloads::{catalog, TraceGenerator};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workload = args.next().unwrap_or_else(|| "astar".into());
+    let budget: u64 = args
+        .next()
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(250_000);
+    let cfg = RunConfig::paper(&workload)
+        .instructions(budget)
+        .design(L1DesignKind::Seesaw);
+
+    // Min-of-7 so one noisy-VM hiccup doesn't pollute the number. The
+    // first iteration pays the cold artifact-cache cost; later ones show
+    // the warm path — the min is effectively the warm figure.
+    let mut best_build = f64::MAX;
+    let mut best_run = f64::MAX;
+    let mut last = (0u64, 0u64);
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        let sys = System::build(&cfg).unwrap();
+        let build = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let r = sys.run().unwrap();
+        let run = t1.elapsed().as_secs_f64();
+        best_build = best_build.min(build);
+        best_run = best_run.min(run);
+        last = (r.totals.instructions, r.totals.cycles);
+    }
+    println!(
+        "{workload}/{budget}: build {:.3}ms  run {:.3}ms  instr {}  cycles {}",
+        best_build * 1e3,
+        best_run * 1e3,
+        last.0,
+        last.1
+    );
+
+    // Raw generator throughput (min of 3), the upper bound on any
+    // stream-bound phase.
+    let spec = *catalog()
+        .iter()
+        .find(|w| w.name == workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let mut gen_best = f64::MAX;
+    let mut acc = 0u64;
+    for _ in 0..3 {
+        let mut generator = TraceGenerator::new(&spec, 1);
+        let t = Instant::now();
+        for _ in 0..1_000_000 {
+            acc = acc.wrapping_add(generator.next_ref().offset);
+        }
+        gen_best = gen_best.min(t.elapsed().as_secs_f64());
+    }
+    println!("gen 1M refs: {:.3}ms (acc {acc})", gen_best * 1e3);
+}

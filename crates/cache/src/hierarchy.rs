@@ -77,6 +77,11 @@ pub struct OuterHierarchy {
     config: OuterHierarchyConfig,
     l2: SetAssocCache,
     llc: SetAssocCache,
+    /// Cached geometry so the per-miss path never re-derives set counts.
+    l2_sets: usize,
+    llc_sets: usize,
+    l2_mask: WayMask,
+    llc_mask: WayMask,
     prefetcher: Option<StreamPrefetcher>,
     dram_accesses: u64,
     writebacks_received: u64,
@@ -89,6 +94,10 @@ impl OuterHierarchy {
             config,
             l2: SetAssocCache::new(config.l2),
             llc: SetAssocCache::new(config.llc),
+            l2_sets: config.l2.sets(),
+            llc_sets: config.llc.sets(),
+            l2_mask: WayMask::all(config.l2.ways),
+            llc_mask: WayMask::all(config.llc.ways),
             prefetcher: None,
             dram_accesses: 0,
             writebacks_received: 0,
@@ -112,8 +121,8 @@ impl OuterHierarchy {
     /// Services an L1 miss for the physical line `ptag`. Returns the level
     /// that supplied the data and the cycles it cost (beyond the L1).
     pub fn access(&mut self, ptag: u64, is_write: bool) -> (MemoryLevel, u64) {
-        let l2_set = (ptag as usize) % self.config.l2.sets();
-        let l2_ways = WayMask::all(self.config.l2.ways);
+        let l2_set = (ptag as usize) % self.l2_sets;
+        let l2_ways = self.l2_mask;
         if self.l2.read(l2_set, ptag, l2_ways).hit {
             if is_write {
                 self.l2.write(l2_set, ptag, l2_ways);
@@ -126,14 +135,14 @@ impl OuterHierarchy {
         if let Some(prefetcher) = self.prefetcher.as_mut() {
             let ahead = prefetcher.observe(ptag);
             for line in ahead {
-                let set = (line as usize) % self.config.l2.sets();
+                let set = (line as usize) % self.l2_sets;
                 if self.l2.peek(set, line, l2_ways).is_none() {
                     self.l2.fill(set, line, l2_ways, false);
                 }
             }
         }
-        let llc_set = (ptag as usize) % self.config.llc.sets();
-        let llc_ways = WayMask::all(self.config.llc.ways);
+        let llc_set = (ptag as usize) % self.llc_sets;
+        let llc_ways = self.llc_mask;
         let (level, cycles) = if self.llc.read(llc_set, ptag, llc_ways).hit {
             (MemoryLevel::Llc, self.config.l2_cycles + self.config.llc_cycles)
         } else {
@@ -148,7 +157,7 @@ impl OuterHierarchy {
         // the LLC, which is at least as large, so we stop accounting there.
         if let Some(evicted) = self.l2.fill(l2_set, ptag, l2_ways, is_write) {
             if evicted.dirty {
-                let set = (evicted.ptag as usize) % self.config.llc.sets();
+                let set = (evicted.ptag as usize) % self.llc_sets;
                 if self.llc.peek(set, evicted.ptag, llc_ways).is_none() {
                     self.llc.fill(set, evicted.ptag, llc_ways, true);
                 } else {
@@ -162,8 +171,8 @@ impl OuterHierarchy {
     /// Accepts a dirty line written back from the L1.
     pub fn writeback(&mut self, ptag: u64) {
         self.writebacks_received += 1;
-        let l2_set = (ptag as usize) % self.config.l2.sets();
-        let l2_ways = WayMask::all(self.config.l2.ways);
+        let l2_set = (ptag as usize) % self.l2_sets;
+        let l2_ways = self.l2_mask;
         if self.l2.peek(l2_set, ptag, l2_ways).is_some() {
             self.l2.write(l2_set, ptag, l2_ways);
         } else {

@@ -40,12 +40,16 @@ impl LruTracker {
     /// # Panics
     /// Panics if `mask` selects no way.
     pub fn victim(&self, set: usize, mask: u64) -> usize {
+        let base = set * self.ways;
         let mut best: Option<(usize, u64)> = None;
-        for way in 0..self.ways {
-            if mask & (1 << way) == 0 {
-                continue;
+        let mut bits = mask;
+        while bits != 0 {
+            let way = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if way >= self.ways {
+                break;
             }
-            let stamp = self.stamps[set * self.ways + way];
+            let stamp = self.stamps[base + way];
             if best.map(|(_, s)| stamp < s).unwrap_or(true) {
                 best = Some((way, stamp));
             }
@@ -56,12 +60,16 @@ impl LruTracker {
     /// The most-recently-used way among those selected by `mask`, if any
     /// way in the mask was ever touched.
     pub fn mru(&self, set: usize, mask: u64) -> Option<usize> {
+        let base = set * self.ways;
         let mut best: Option<(usize, u64)> = None;
-        for way in 0..self.ways {
-            if mask & (1 << way) == 0 {
-                continue;
+        let mut bits = mask;
+        while bits != 0 {
+            let way = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if way >= self.ways {
+                break;
             }
-            let stamp = self.stamps[set * self.ways + way];
+            let stamp = self.stamps[base + way];
             if stamp > 0 && best.map(|(_, s)| stamp > s).unwrap_or(true) {
                 best = Some((way, stamp));
             }

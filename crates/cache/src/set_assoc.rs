@@ -4,7 +4,7 @@
 //! a lookup probes (and pays for) only the ways its mask selects, and a
 //! fill chooses its victim inside a (possibly different) mask.
 
-use crate::{CacheConfig, CacheStats, LineState, LruTracker, MoesiState};
+use crate::{CacheConfig, CacheStats, LruTracker, MoesiState};
 
 /// A set of eligible ways, bit `i` = way `i`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,11 +118,22 @@ pub struct ResidentLine {
 /// [`CacheConfig::set_index`]) because it depends on the indexing policy
 /// and, for SEESAW, on the partition decoder.
 ///
+/// Line state is held in dense parallel arrays indexed by
+/// `set * ways + way` — tags in one, coherence state in another — so a
+/// masked probe walks a handful of adjacent words instead of chasing
+/// per-line `Option` structs. An absent line is represented as
+/// [`MoesiState::Invalid`], which every observer already treats the same
+/// as an empty slot.
+///
 /// See the crate-level example for typical use.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    lines: Vec<Option<LineState>>,
+    ways: usize,
+    /// Physical line address per slot (meaningful only where `coh` is valid).
+    ptags: Vec<u64>,
+    /// Coherence state per slot; `Invalid` doubles as "empty".
+    coh: Vec<MoesiState>,
     lru: LruTracker,
     stats: CacheStats,
 }
@@ -133,7 +144,9 @@ impl SetAssocCache {
         let sets = config.sets();
         Self {
             config,
-            lines: vec![None; sets * config.ways],
+            ways: config.ways,
+            ptags: vec![0; sets * config.ways],
+            coh: vec![MoesiState::Invalid; sets * config.ways],
             lru: LruTracker::new(sets, config.ways),
             stats: CacheStats::default(),
         }
@@ -158,13 +171,19 @@ impl SetAssocCache {
     /// Probes without updating LRU or statistics (used by way predictors
     /// and invariants in tests).
     pub fn peek(&self, set: usize, ptag: u64, mask: WayMask) -> Option<usize> {
-        (0..self.config.ways)
-            .filter(|&w| mask.contains(w))
-            .find(|&w| {
-                self.lines[set * self.config.ways + w]
-                    .map(|l| l.ptag == ptag && l.coh.is_valid())
-                    .unwrap_or(false)
-            })
+        let base = set * self.ways;
+        let mut bits = mask.bits();
+        while bits != 0 {
+            let way = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if way >= self.ways {
+                break;
+            }
+            if self.coh[base + way].is_valid() && self.ptags[base + way] == ptag {
+                return Some(way);
+            }
+        }
+        None
     }
 
     /// Fills `ptag` into `set`, choosing the victim inside `victim_mask`
@@ -185,18 +204,27 @@ impl SetAssocCache {
             self.peek(set, ptag, WayMask::all(self.config.ways)).is_none(),
             "line {ptag:#x} already resident in set {set}"
         );
-        let way = (0..self.config.ways)
-            .filter(|&w| victim_mask.contains(w))
-            .find(|&w| {
-                self.lines[set * self.config.ways + w]
-                    .map(|l| !l.coh.is_valid())
-                    .unwrap_or(true)
-            })
-            .unwrap_or_else(|| self.lru.victim(set, victim_mask.bits()));
-        let slot = &mut self.lines[set * self.config.ways + way];
-        let evicted = slot.filter(|l| l.coh.is_valid()).map(|l| EvictedLine {
-            ptag: l.ptag,
-            dirty: l.coh.is_dirty(),
+        let base = set * self.ways;
+        let way = {
+            let mut found = None;
+            let mut bits = victim_mask.bits();
+            while bits != 0 {
+                let w = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if w >= self.ways {
+                    break;
+                }
+                if !self.coh[base + w].is_valid() {
+                    found = Some(w);
+                    break;
+                }
+            }
+            found.unwrap_or_else(|| self.lru.victim(set, victim_mask.bits()))
+        };
+        let old = self.coh[base + way];
+        let evicted = old.is_valid().then(|| EvictedLine {
+            ptag: self.ptags[base + way],
+            dirty: old.is_dirty(),
         });
         if let Some(e) = &evicted {
             self.stats.evictions += 1;
@@ -204,12 +232,12 @@ impl SetAssocCache {
                 self.stats.writebacks += 1;
             }
         }
-        let coh = if write {
+        self.ptags[base + way] = ptag;
+        self.coh[base + way] = if write {
             MoesiState::Modified
         } else {
             MoesiState::Exclusive
         };
-        *slot = Some(LineState::new(ptag, coh));
         self.lru.touch(set, way);
         self.stats.fills += 1;
         evicted
@@ -228,14 +256,14 @@ impl SetAssocCache {
         self.stats.coherence_probes += 1;
         self.stats.coherence_ways_probed += mask.count() as u64;
         let way = self.peek(set, ptag, mask)?;
-        let line = self.lines[set * self.config.ways + way].as_mut().expect("peeked");
-        let was_dirty = line.coh.is_dirty();
+        let coh = &mut self.coh[set * self.ways + way];
+        let was_dirty = coh.is_dirty();
         if invalidate {
-            line.coh = MoesiState::Invalid;
+            *coh = MoesiState::Invalid;
             self.stats.coherence_invalidations += 1;
-        } else if line.coh.can_write_silently() || line.coh.is_dirty() {
+        } else if coh.can_write_silently() || coh.is_dirty() {
             // Downgrade on a remote read: M/O→Owned, E→Shared.
-            line.coh = if was_dirty {
+            *coh = if was_dirty {
                 MoesiState::Owned
             } else {
                 MoesiState::Shared
@@ -250,19 +278,17 @@ impl SetAssocCache {
     /// accounting).
     pub fn sweep<F: Fn(u64) -> bool>(&mut self, pred: F) -> Vec<EvictedLine> {
         let mut evicted = Vec::new();
-        for slot in &mut self.lines {
-            if let Some(line) = slot {
-                if line.coh.is_valid() && pred(line.ptag) {
-                    evicted.push(EvictedLine {
-                        ptag: line.ptag,
-                        dirty: line.coh.is_dirty(),
-                    });
-                    if line.coh.is_dirty() {
-                        self.stats.writebacks += 1;
-                    }
-                    self.stats.evictions += 1;
-                    *slot = None;
+        for (coh, &ptag) in self.coh.iter_mut().zip(&self.ptags) {
+            if coh.is_valid() && pred(ptag) {
+                evicted.push(EvictedLine {
+                    ptag,
+                    dirty: coh.is_dirty(),
+                });
+                if coh.is_dirty() {
+                    self.stats.writebacks += 1;
                 }
+                self.stats.evictions += 1;
+                *coh = MoesiState::Invalid;
             }
         }
         evicted
@@ -271,17 +297,14 @@ impl SetAssocCache {
     /// Coherence state of the line, if resident.
     pub fn line_state(&self, set: usize, ptag: u64) -> Option<MoesiState> {
         self.peek(set, ptag, WayMask::all(self.config.ways))
-            .and_then(|w| self.lines[set * self.config.ways + w])
-            .map(|l| l.coh)
+            .map(|w| self.coh[set * self.ways + w])
     }
 
     /// Overwrites the coherence state of a resident line (directory
     /// protocol transitions). No-op if the line is absent.
     pub fn set_line_state(&mut self, set: usize, ptag: u64, coh: MoesiState) {
         if let Some(w) = self.peek(set, ptag, WayMask::all(self.config.ways)) {
-            if let Some(line) = self.lines[set * self.config.ways + w].as_mut() {
-                line.coh = coh;
-            }
+            self.coh[set * self.ways + w] = coh;
         }
     }
 
@@ -296,23 +319,23 @@ impl SetAssocCache {
     /// and that every line sits in a partition its physical address can
     /// name.
     pub fn resident_lines(&self) -> impl Iterator<Item = ResidentLine> + '_ {
-        let ways = self.config.ways;
-        self.lines.iter().enumerate().filter_map(move |(i, slot)| {
-            slot.filter(|l| l.coh.is_valid()).map(|l| ResidentLine {
+        let ways = self.ways;
+        self.coh
+            .iter()
+            .zip(&self.ptags)
+            .enumerate()
+            .filter(|(_, (coh, _))| coh.is_valid())
+            .map(move |(i, (coh, &ptag))| ResidentLine {
                 set: i / ways,
                 way: i % ways,
-                ptag: l.ptag,
-                dirty: l.coh.is_dirty(),
+                ptag,
+                dirty: coh.is_dirty(),
             })
-        })
     }
 
     /// Number of valid lines.
     pub fn valid_lines(&self) -> usize {
-        self.lines
-            .iter()
-            .filter(|s| s.map(|l| l.coh.is_valid()).unwrap_or(false))
-            .count()
+        self.coh.iter().filter(|c| c.is_valid()).count()
     }
 
     /// Access counters.
@@ -322,31 +345,34 @@ impl SetAssocCache {
 
     fn access(&mut self, set: usize, ptag: u64, mask: WayMask, write: bool) -> AccessResult {
         debug_assert!(set < self.config.sets(), "set index out of range");
-        self.stats.ways_probed += mask.count() as u64;
-        for way in 0..self.config.ways {
-            if !mask.contains(way) {
-                continue;
+        let ways_probed = mask.count();
+        self.stats.ways_probed += ways_probed as u64;
+        let base = set * self.ways;
+        let mut bits = mask.bits();
+        while bits != 0 {
+            let way = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if way >= self.ways {
+                break;
             }
-            if let Some(line) = self.lines[set * self.config.ways + way].as_mut() {
-                if line.ptag == ptag && line.coh.is_valid() {
-                    if write {
-                        line.coh = MoesiState::Modified;
-                    }
-                    self.lru.touch(set, way);
-                    self.stats.hits += 1;
-                    return AccessResult {
-                        hit: true,
-                        way: Some(way),
-                        ways_probed: mask.count(),
-                    };
+            if self.coh[base + way].is_valid() && self.ptags[base + way] == ptag {
+                if write {
+                    self.coh[base + way] = MoesiState::Modified;
                 }
+                self.lru.touch(set, way);
+                self.stats.hits += 1;
+                return AccessResult {
+                    hit: true,
+                    way: Some(way),
+                    ways_probed,
+                };
             }
         }
         self.stats.misses += 1;
         AccessResult {
             hit: false,
             way: None,
-            ways_probed: mask.count(),
+            ways_probed,
         }
     }
 }

@@ -36,17 +36,40 @@ pub struct BaselineL1 {
     timing: L1Timing,
     cache: SetAssocCache,
     waypred: Option<MruWayPredictor>,
+    /// Cached geometry so the per-access path never re-derives it.
+    full: WayMask,
+    sets: usize,
+    set_shift: u32,
+    /// `sets - 1` when the set count is a power of two, else zero.
+    set_mask: usize,
+    indexes_virtually: bool,
 }
 
 impl BaselineL1 {
     /// Builds a baseline L1. `way_prediction` attaches an MRU predictor
     /// over the full set (the WP design of Fig. 15).
     pub fn new(config: CacheConfig, timing: L1Timing, way_prediction: bool) -> Self {
+        let sets = config.sets();
         Self {
             cache: SetAssocCache::new(config),
-            waypred: way_prediction.then(|| MruWayPredictor::new(config.sets(), 1)),
+            waypred: way_prediction.then(|| MruWayPredictor::new(sets, 1)),
+            full: WayMask::all(config.ways),
+            sets,
+            set_shift: config.offset_bits(),
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
+            indexes_virtually: config.indexing.indexes_with_virtual_address(),
             config,
             timing,
+        }
+    }
+
+    #[inline]
+    fn set_of_addr(&self, addr: u64) -> usize {
+        let idx = (addr >> self.set_shift) as usize;
+        if self.set_mask != 0 {
+            idx & self.set_mask
+        } else {
+            idx % self.sets
         }
     }
 
@@ -68,9 +91,13 @@ impl BaselineL1 {
 
 impl L1DataCache for BaselineL1 {
     fn access(&mut self, req: &L1Request) -> L1AccessOutcome {
-        let set = self.config.set_index(req.va, Some(req.pa));
+        let set = self.set_of_addr(if self.indexes_virtually {
+            req.va.raw()
+        } else {
+            req.pa.raw()
+        });
         let ptag = self.ptag(req.pa);
-        let full = WayMask::all(self.config.ways);
+        let full = self.full;
 
         let mut latency = self.timing.slow_cycles;
         let mut way_prediction_correct = None;
@@ -123,9 +150,9 @@ impl L1DataCache for BaselineL1 {
     }
 
     fn coherence_probe(&mut self, pa: PhysAddr, invalidate: bool) -> (bool, usize) {
-        let set = self.config.set_index_physical(pa);
+        let set = self.set_of_addr(pa.raw());
         let ptag = self.ptag(pa);
-        let full = WayMask::all(self.config.ways);
+        let full = self.full;
         let present = self.cache.coherence_probe(set, ptag, full, invalidate);
         (present.is_some(), full.count())
     }

@@ -176,6 +176,17 @@ impl Collect for SeesawStats {
     }
 }
 
+/// One row of the precomputed lookup-selection table: everything the
+/// TFT verdict and page size decide about a lookup, resolved to a single
+/// indexed load instead of a branch tree.
+#[derive(Debug, Clone, Copy)]
+struct LookupSelect {
+    mask: WayMask,
+    latency: u64,
+    case: LookupCase,
+    fast_held: bool,
+}
+
 /// The SEESAW L1 data cache.
 ///
 /// See the crate-level example for typical use. Drive [`SeesawL1::tft_fill`]
@@ -185,34 +196,95 @@ impl Collect for SeesawStats {
 #[derive(Debug, Clone)]
 pub struct SeesawL1 {
     config: SeesawConfig,
-    timing: L1Timing,
     cache: SetAssocCache,
     tft: TranslationFilterTable,
     decoder: PartitionDecoder,
     waypred: Option<MruWayPredictor>,
     stats: SeesawStats,
+    /// Lookup selection keyed by
+    /// `((tft_hit << 1) | is_superpage) × partitions + va_partition`.
+    select: Vec<LookupSelect>,
+    /// Victim masks keyed by `is_superpage × partitions + pa_partition`.
+    victim_masks: Vec<WayMask>,
+    /// Coherence masks per PA partition: the narrow partition mask under
+    /// a partition-deterministic insertion policy, the full mask otherwise.
+    coh_masks: Vec<WayMask>,
+    partitions: usize,
+    /// Byte-offset bits below the set index.
+    set_shift: u32,
+    /// `sets - 1` (the VIPT set count is always a power of two).
+    set_mask: usize,
+    full_mask: WayMask,
 }
 
 impl SeesawL1 {
     /// Builds a SEESAW L1.
     pub fn new(config: SeesawConfig, timing: L1Timing) -> Self {
+        let sets = config.cache.sets();
         let decoder = PartitionDecoder::new(
-            config.cache.sets(),
+            sets,
             config.cache.ways,
             config.cache.line_bytes,
             config.partitions,
         );
         let waypred = config
             .way_prediction
-            .then(|| MruWayPredictor::new(config.cache.sets(), config.partitions));
+            .then(|| MruWayPredictor::new(sets, config.partitions));
+        let partitions = config.partitions;
+        let full_mask = decoder.full_mask();
+        let mut select = Vec::with_capacity(4 * partitions);
+        for key in 0..4usize {
+            let tft_hit = key & 0b10 != 0;
+            let is_superpage = key & 0b01 != 0;
+            for p in 0..partitions {
+                select.push(if tft_hit {
+                    // Partition lookup only (Table I rows 1-2); the case is
+                    // refined to a miss variant after the probe.
+                    LookupSelect {
+                        mask: decoder.mask_of(p),
+                        latency: timing.fast_cycles,
+                        case: LookupCase::SuperTftHitCacheHit,
+                        fast_held: true,
+                    }
+                } else {
+                    // Conservative full-set lookup (Table I rows 3-4).
+                    LookupSelect {
+                        mask: full_mask,
+                        latency: timing.slow_cycles,
+                        case: if is_superpage {
+                            LookupCase::SuperTftMiss
+                        } else {
+                            LookupCase::BasePage
+                        },
+                        fast_held: false,
+                    }
+                });
+            }
+        }
+        let mut victim_masks = Vec::with_capacity(2 * partitions);
+        for is_superpage in [false, true] {
+            for p in 0..partitions {
+                victim_masks.push(config.insertion.victim_mask(&decoder, p, is_superpage));
+            }
+        }
+        let narrow = config.insertion.lines_are_partition_deterministic();
+        let coh_masks = (0..partitions)
+            .map(|p| if narrow { decoder.mask_of(p) } else { full_mask })
+            .collect();
         Self {
             cache: SetAssocCache::new(config.cache),
             tft: TranslationFilterTable::new(config.tft_entries),
             decoder,
             waypred,
             config,
-            timing,
             stats: SeesawStats::default(),
+            select,
+            victim_masks,
+            coh_masks,
+            partitions,
+            set_shift: config.cache.offset_bits(),
+            set_mask: sets - 1,
+            full_mask,
         }
     }
 
@@ -340,10 +412,8 @@ impl SeesawL1 {
     /// True if the line holding `pa` is resident, checked side-effect
     /// free (no LRU, no coherence transition, no counters).
     pub fn peek_pa(&self, pa: PhysAddr) -> bool {
-        let set = self.config.cache.set_index_physical(pa);
-        self.cache
-            .peek(set, self.ptag(pa), self.decoder.full_mask())
-            .is_some()
+        let set = ((pa.raw() >> self.set_shift) as usize) & self.set_mask;
+        self.cache.peek(set, self.ptag(pa), self.full_mask).is_some()
     }
 
     fn ptag(&self, pa: PhysAddr) -> u64 {
@@ -353,7 +423,7 @@ impl SeesawL1 {
 
 impl L1DataCache for SeesawL1 {
     fn access(&mut self, req: &L1Request) -> L1AccessOutcome {
-        let set = self.config.cache.set_index(req.va, None);
+        let set = ((req.va.raw() >> self.set_shift) as usize) & self.set_mask;
         let p_va = self.decoder.partition_of_va(req.va);
         let ptag = self.ptag(req.pa);
         // The TFT is kept precise by invalidation/flush, so a hit proves a
@@ -362,27 +432,16 @@ impl L1DataCache for SeesawL1 {
         // tests can break the invalidation on purpose and watch the checker
         // report it instead of crashing inside the cache model.
         let tft_hit = self.tft.lookup(req.va);
+        let is_superpage = req.page_size.is_superpage();
 
-        let (lookup_mask, latency, case, fast_held) = if tft_hit {
-            // Partition lookup only (Table I rows 1-2).
-            (
-                self.decoder.mask_of(p_va),
-                self.timing.fast_cycles,
-                LookupCase::SuperTftHitCacheHit, // refined below on miss
-                true,
-            )
-        } else {
-            // Conservative full-set lookup (Table I rows 3-4).
-            let case = if req.page_size.is_superpage() {
-                LookupCase::SuperTftMiss
-            } else {
-                LookupCase::BasePage
-            };
-            (self.decoder.full_mask(), self.timing.slow_cycles, case, false)
-        };
+        // Everything the TFT verdict and page size decide — mask, latency,
+        // Table I case, fast-path assumption — is one precomputed row.
+        let key = ((tft_hit as usize) << 1) | (is_superpage as usize);
+        let sel = self.select[key * self.partitions + p_va];
+        let lookup_mask = sel.mask;
 
         // Optional way prediction inside the presented mask (§IV-B2).
-        let mut latency = latency;
+        let mut latency = sel.latency;
         let mut way_prediction_correct = None;
         let result = if let Some(wp) = self.waypred.as_mut() {
             let predicted = wp.predict(set, p_va).filter(|&w| lookup_mask.contains(w));
@@ -392,13 +451,9 @@ impl L1DataCache for SeesawL1 {
                     self.cache.read(set, ptag, WayMask::single(w))
                 }
                 Some(_) => {
-                    // Mispredict: a second, full-mask probe round.
+                    // Mispredict: a second probe round at the same width.
                     way_prediction_correct = Some(false);
-                    latency += if tft_hit {
-                        self.timing.fast_cycles
-                    } else {
-                        self.timing.slow_cycles
-                    };
+                    latency += sel.latency;
                     self.cache.read(set, ptag, lookup_mask)
                 }
                 None => self.cache.read(set, ptag, lookup_mask),
@@ -407,7 +462,7 @@ impl L1DataCache for SeesawL1 {
             self.cache.read(set, ptag, lookup_mask)
         };
 
-        let mut case = case;
+        let mut case = sel.case;
         let mut evicted = None;
         if result.hit {
             if req.is_write {
@@ -427,13 +482,11 @@ impl L1DataCache for SeesawL1 {
             }
             let p_pa = self.decoder.partition_of_pa(req.pa);
             debug_assert!(
-                !req.page_size.is_superpage() || p_pa == p_va,
+                !is_superpage || p_pa == p_va,
                 "superpage partition bits must match between VA and PA"
             );
             let victim_mask =
-                self.config
-                    .insertion
-                    .victim_mask(&self.decoder, p_pa, req.page_size.is_superpage());
+                self.victim_masks[(is_superpage as usize) * self.partitions + p_pa];
             evicted = self.cache.fill(set, ptag, victim_mask, req.is_write);
             if let Some(wp) = self.waypred.as_mut() {
                 if let Some(w) = self.cache.resident_way(set, ptag) {
@@ -457,21 +510,18 @@ impl L1DataCache for SeesawL1 {
             case,
             tft_hit: Some(tft_hit),
             evicted,
-            fast_assumption_held: fast_held,
+            fast_assumption_held: sel.fast_held,
             way_prediction_correct,
         }
     }
 
     fn coherence_probe(&mut self, pa: PhysAddr, invalidate: bool) -> (bool, usize) {
-        let set = self.config.cache.set_index_physical(pa);
+        let set = ((pa.raw() >> self.set_shift) as usize) & self.set_mask;
         let ptag = self.ptag(pa);
         // The 4way insertion policy pins every line to its physical
-        // partition, so every coherence probe is narrow (§IV-C1).
-        let mask = if self.config.insertion.lines_are_partition_deterministic() {
-            self.decoder.mask_of(self.decoder.partition_of_pa(pa))
-        } else {
-            self.decoder.full_mask()
-        };
+        // partition, so every coherence probe is narrow (§IV-C1); the
+        // per-partition masks are precomputed either way.
+        let mask = self.coh_masks[self.decoder.partition_of_pa(pa)];
         let present = self.cache.coherence_probe(set, ptag, mask, invalidate);
         (present.is_some(), mask.count())
     }

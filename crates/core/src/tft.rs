@@ -86,6 +86,9 @@ impl Collect for TftStats {
 pub struct TranslationFilterTable {
     /// Region tags (VA bits 63:21), `None` = invalid.
     slots: Vec<Option<u64>>,
+    /// `entries - 1` when the slot count is a power of two (index by
+    /// AND), zero otherwise (index by modulo).
+    slot_mask: usize,
     stats: TftStats,
 }
 
@@ -99,7 +102,17 @@ impl TranslationFilterTable {
         assert!(entries > 0, "TFT needs at least one entry");
         Self {
             slots: vec![None; entries],
+            slot_mask: if entries.is_power_of_two() { entries - 1 } else { 0 },
             stats: TftStats::default(),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, region: u64) -> usize {
+        if self.slot_mask != 0 {
+            (region as usize) & self.slot_mask
+        } else {
+            (region as usize) % self.slots.len()
         }
     }
 
@@ -120,7 +133,7 @@ impl TranslationFilterTable {
     /// good performance".
     pub fn lookup(&mut self, va: VirtAddr) -> bool {
         let region = va.region_2m();
-        let slot = (region as usize) % self.slots.len();
+        let slot = self.slot_of(region);
         let hit = self.slots[slot] == Some(region);
         if hit {
             self.stats.hits += 1;
@@ -133,7 +146,7 @@ impl TranslationFilterTable {
     /// Checks without counting (for assertions and experiments).
     pub fn probe(&self, va: VirtAddr) -> bool {
         let region = va.region_2m();
-        self.slots[(region as usize) % self.slots.len()] == Some(region)
+        self.slots[self.slot_of(region)] == Some(region)
     }
 
     /// Records that the 2 MB region containing `va` is superpage-backed.
@@ -141,7 +154,7 @@ impl TranslationFilterTable {
     /// any replacement policy".
     pub fn fill(&mut self, va: VirtAddr) {
         let region = va.region_2m();
-        let slot = (region as usize) % self.slots.len();
+        let slot = self.slot_of(region);
         self.slots[slot] = Some(region);
         self.stats.fills += 1;
     }
@@ -151,7 +164,7 @@ impl TranslationFilterTable {
     pub fn invalidate(&mut self, page: VirtPage) {
         debug_assert_eq!(page.size(), PageSize::Super2M, "TFT tracks 2 MB regions");
         let region = page.base().region_2m();
-        let slot = (region as usize) % self.slots.len();
+        let slot = self.slot_of(region);
         if self.slots[slot] == Some(region) {
             self.slots[slot] = None;
             self.stats.invalidations += 1;

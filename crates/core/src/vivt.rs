@@ -84,6 +84,11 @@ pub struct VivtL1 {
     /// writebacks and eviction bookkeeping.
     forward: HashMap<u64, u64>,
     stats: SynonymStats,
+    /// Cached geometry so the per-access path never re-derives it.
+    full: WayMask,
+    sets: usize,
+    /// `sets - 1` when the set count is a power of two, else zero.
+    set_mask: usize,
 }
 
 impl VivtL1 {
@@ -91,6 +96,7 @@ impl VivtL1 {
     /// Every hit completes in `timing.fast_cycles` — no TLB involved.
     pub fn new(size_bytes: u64, ways: usize, timing: L1Timing) -> Self {
         let config = CacheConfig::new(size_bytes, ways, 64, IndexPolicy::Vivt);
+        let sets = config.sets();
         Self {
             cache: SetAssocCache::new(config),
             reverse: HashMap::new(),
@@ -98,6 +104,18 @@ impl VivtL1 {
             config,
             timing,
             stats: SynonymStats::default(),
+            full: WayMask::all(ways),
+            sets,
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
+        }
+    }
+
+    #[inline]
+    fn set_of_line(&self, line: u64) -> usize {
+        if self.set_mask != 0 {
+            (line as usize) & self.set_mask
+        } else {
+            (line as usize) % self.sets
         }
     }
 
@@ -171,8 +189,8 @@ impl VivtL1 {
     }
 
     fn evict_alias(&mut self, vline: u64) {
-        let set = (vline as usize) % self.config.sets();
-        self.cache.coherence_probe(set, vline, WayMask::all(self.config.ways), true);
+        let set = self.set_of_line(vline);
+        self.cache.coherence_probe(set, vline, self.full, true);
         if let Some(pline) = self.forward.remove(&vline) {
             self.reverse.remove(&pline);
         }
@@ -183,8 +201,8 @@ impl L1DataCache for VivtL1 {
     fn access(&mut self, req: &L1Request) -> L1AccessOutcome {
         let vline = self.vline(req);
         let pline = req.pa.raw() / self.config.line_bytes;
-        let set = (vline as usize) % self.config.sets();
-        let full = WayMask::all(self.config.ways);
+        let set = self.set_of_line(vline);
+        let full = self.full;
 
         let result = if req.is_write {
             self.cache.write(set, vline, full)
@@ -246,13 +264,8 @@ impl L1DataCache for VivtL1 {
         // a physically-addressed probe could not find anything.
         match self.reverse.get(&pline).copied() {
             Some(vline) => {
-                let set = (vline as usize) % self.config.sets();
-                let present = self.cache.coherence_probe(
-                    set,
-                    vline,
-                    WayMask::all(self.config.ways),
-                    invalidate,
-                );
+                let set = self.set_of_line(vline);
+                let present = self.cache.coherence_probe(set, vline, self.full, invalidate);
                 if invalidate && present.is_some() {
                     self.forward.remove(&vline);
                     self.reverse.remove(&pline);

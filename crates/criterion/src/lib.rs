@@ -7,11 +7,24 @@
 //! over an auto-scaled iteration count and prints a mean per-iteration
 //! time — enough to compare hot paths and spot gross regressions, without
 //! criterion's statistics, plots, or state.
+//!
+//! Like the real crate, passing `--test` on the bench binary's command
+//! line (`cargo bench -- --test`) runs every benchmark body exactly once
+//! and reports pass/fail instead of timing — the mode `scripts/check.sh`
+//! uses to keep the benches compiling and panic-free without paying for
+//! a full measurement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Whether the binary was invoked with `--test` (single-shot smoke mode).
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Re-export of the standard opaque value barrier.
 pub fn black_box<T>(value: T) -> T {
@@ -83,6 +96,10 @@ impl Bencher {
     /// Times `routine`, auto-scaling the iteration count so the
     /// measurement lasts long enough to be meaningful.
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        if test_mode() {
+            black_box(routine());
+            return;
+        }
         // Warm up and estimate per-iteration cost.
         let start = Instant::now();
         black_box(routine());
@@ -101,6 +118,10 @@ impl Bencher {
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
     let mut bencher = Bencher::default();
     f(&mut bencher);
+    if test_mode() {
+        println!("test {label:<40} ok");
+        return;
+    }
     if bencher.iters == 0 {
         println!("bench {label:<40} (no measurement)");
         return;

@@ -6,8 +6,6 @@
 //! reproduces the split/coalesce dynamics so that the `memhog`
 //! fragmentation experiments (Fig. 3, Fig. 12) behave like the real system.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use seesaw_trace::{Collect, MetricsRegistry};
 
 use crate::MemError;
@@ -15,6 +13,94 @@ use crate::MemError;
 /// Largest supported order: an order-18 block is 2^18 base pages = 1 GB,
 /// enough to serve 1 GB superpages.
 pub const MAX_ORDER: u32 = 18;
+
+/// A hierarchical bitmap over block indices. Level 0 holds one bit per
+/// index; each higher level holds one bit per 64-bit word of the level
+/// below, so membership, insert, remove, and find-smallest are all a
+/// handful of word operations regardless of occupancy. Iteration yields
+/// indices in ascending order, like the ordered containers this replaces.
+#[derive(Debug, Clone)]
+struct IndexBitmap {
+    levels: Vec<Vec<u64>>,
+    len: usize,
+}
+
+impl IndexBitmap {
+    fn new(capacity: u64) -> Self {
+        let mut words = (capacity as usize).div_ceil(64).max(1);
+        let mut levels = vec![vec![0u64; words]];
+        while words > 1 {
+            words = words.div_ceil(64);
+            levels.push(vec![0u64; words]);
+        }
+        Self { levels, len: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn contains(&self, idx: u64) -> bool {
+        let idx = idx as usize;
+        self.levels[0][idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Sets a bit that must currently be clear.
+    fn insert(&mut self, idx: u64) {
+        debug_assert!(!self.contains(idx), "bit {idx} already set");
+        let mut idx = idx as usize;
+        for level in &mut self.levels {
+            level[idx / 64] |= 1u64 << (idx % 64);
+            idx /= 64;
+        }
+        self.len += 1;
+    }
+
+    /// Clears a bit, returning whether it was set.
+    fn remove(&mut self, idx: u64) -> bool {
+        if !self.contains(idx) {
+            return false;
+        }
+        let mut idx = idx as usize;
+        for level in &mut self.levels {
+            let word = idx / 64;
+            level[word] &= !(1u64 << (idx % 64));
+            if level[word] != 0 {
+                break;
+            }
+            idx = word;
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// The smallest set index, if any.
+    fn first_set(&self) -> Option<u64> {
+        let top = self.levels.last().expect("at least one level");
+        let word = top.iter().position(|&w| w != 0)?;
+        let mut idx = word * 64 + top[word].trailing_zeros() as usize;
+        for level in self.levels[..self.levels.len() - 1].iter().rev() {
+            idx = idx * 64 + level[idx].trailing_zeros() as usize;
+        }
+        Some(idx as u64)
+    }
+
+    /// Iterates set indices in ascending order.
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.levels[0].iter().enumerate().flat_map(|(word, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as u64;
+                bits &= bits - 1;
+                Some(word as u64 * 64 + bit)
+            })
+        })
+    }
+}
 
 /// A binary buddy allocator tracking 4 KB frames.
 ///
@@ -36,10 +122,14 @@ pub const MAX_ORDER: u32 = 18;
 pub struct BuddyAllocator {
     total_frames: u64,
     free_frames: u64,
-    /// Free block start indices, per order.
-    free_lists: Vec<BTreeSet<u64>>,
-    /// Allocated blocks: start frame index → order.
-    allocated: BTreeMap<u64, u32>,
+    /// Free blocks per order: bit `i` of the order-`k` bitmap means the
+    /// block starting at frame `i << k` is free.
+    free_lists: Vec<IndexBitmap>,
+    /// Frames where an allocated block starts.
+    allocated: IndexBitmap,
+    /// Order of the allocated block starting at each frame (meaningful
+    /// only where `allocated` has the bit set).
+    alloc_order: Vec<u8>,
 }
 
 /// A snapshot of allocator occupancy used by compaction policy and the
@@ -102,11 +192,15 @@ impl BuddyAllocator {
     /// Panics if `total_frames` is zero.
     pub fn new(total_frames: u64) -> Self {
         assert!(total_frames > 0, "cannot manage zero frames");
+        let free_lists = (0..=MAX_ORDER)
+            .map(|k| IndexBitmap::new(((total_frames - 1) >> k) + 1))
+            .collect();
         let mut buddy = Self {
             total_frames,
             free_frames: total_frames,
-            free_lists: vec![BTreeSet::new(); (MAX_ORDER + 1) as usize],
-            allocated: BTreeMap::new(),
+            free_lists,
+            allocated: IndexBitmap::new(total_frames),
+            alloc_order: vec![0; total_frames as usize],
         };
         // Seed the free lists with maximal aligned blocks (greedy
         // decomposition of the frame range, like Linux's memblock release).
@@ -120,7 +214,7 @@ impl BuddyAllocator {
             let remaining = total_frames - start;
             let fit_order = (63 - remaining.leading_zeros()).min(MAX_ORDER);
             let order = align_order.min(fit_order);
-            buddy.free_lists[order as usize].insert(start);
+            buddy.free_lists[order as usize].insert(start >> order);
             start += 1 << order;
         }
         buddy
@@ -147,7 +241,7 @@ impl BuddyAllocator {
         assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
         let frames = 1u64 << order;
         // Find the smallest order with a free block.
-        let found = (order..=MAX_ORDER).find(|&k| !self.free_lists[k as usize].is_empty());
+        let found = (order..=MAX_ORDER).find(|&k| self.free_lists[k as usize].len() > 0);
         let Some(mut k) = found else {
             return if self.free_frames >= frames {
                 Err(MemError::Fragmented {
@@ -159,30 +253,35 @@ impl BuddyAllocator {
                 })
             };
         };
-        let start = *self.free_lists[k as usize].iter().next().expect("non-empty");
-        self.free_lists[k as usize].remove(&start);
+        let idx = self.free_lists[k as usize].first_set().expect("non-empty");
+        let start = idx << k;
+        self.free_lists[k as usize].remove(idx);
         // Split down to the requested order, returning upper halves to the
         // free lists.
         while k > order {
             k -= 1;
             let buddy = start + (1u64 << k);
-            self.free_lists[k as usize].insert(buddy);
+            self.free_lists[k as usize].insert(buddy >> k);
         }
         self.free_frames -= frames;
-        self.allocated.insert(start, order);
+        self.allocated.insert(start);
+        self.alloc_order[start as usize] = order as u8;
         Ok(start)
     }
 
     /// Allocates a specific block if it is entirely free (used by
     /// compaction to rebuild contiguity). Returns `true` on success.
     pub fn alloc_exact(&mut self, start: u64, order: u32) -> bool {
+        if start >= self.total_frames {
+            return false;
+        }
         // The block is free iff it can be carved out of a containing free
         // block. Search upward for a free block that covers [start, start+2^order).
         let mut k = order;
         let mut covering = None;
         while k <= MAX_ORDER {
             let block_start = start & !((1u64 << k) - 1);
-            if self.free_lists[k as usize].contains(&block_start) {
+            if self.free_lists[k as usize].contains(block_start >> k) {
                 covering = Some((block_start, k));
                 break;
             }
@@ -191,22 +290,23 @@ impl BuddyAllocator {
         let Some((block_start, mut k)) = covering else {
             return false;
         };
-        self.free_lists[k as usize].remove(&block_start);
+        self.free_lists[k as usize].remove(block_start >> k);
         // Split toward the target block, freeing the halves we don't want.
         let mut cur = block_start;
         while k > order {
             k -= 1;
             let half = 1u64 << k;
             if start < cur + half {
-                self.free_lists[k as usize].insert(cur + half);
+                self.free_lists[k as usize].insert((cur + half) >> k);
             } else {
-                self.free_lists[k as usize].insert(cur);
+                self.free_lists[k as usize].insert(cur >> k);
                 cur += half;
             }
         }
         debug_assert_eq!(cur, start);
         self.free_frames -= 1u64 << order;
-        self.allocated.insert(start, order);
+        self.allocated.insert(start);
+        self.alloc_order[start as usize] = order as u8;
         true
     }
 
@@ -216,11 +316,10 @@ impl BuddyAllocator {
     /// Returns [`MemError::NotAllocated`] if `(start, order)` does not match
     /// an allocated block.
     pub fn free(&mut self, start: u64, order: u32) -> Result<(), MemError> {
-        match self.allocated.get(&start) {
-            Some(&o) if o == order => {}
-            _ => return Err(MemError::NotAllocated),
+        if !self.is_allocated(start, order) {
+            return Err(MemError::NotAllocated);
         }
-        self.allocated.remove(&start);
+        self.allocated.remove(start);
         self.free_frames += 1u64 << order;
         let mut start = start;
         let mut order = order;
@@ -228,14 +327,14 @@ impl BuddyAllocator {
         while order < MAX_ORDER {
             let buddy = start ^ (1u64 << order);
             if buddy + (1u64 << order) > self.total_frames
-                || !self.free_lists[order as usize].remove(&buddy)
+                || !self.free_lists[order as usize].remove(buddy >> order)
             {
                 break;
             }
             start = start.min(buddy);
             order += 1;
         }
-        self.free_lists[order as usize].insert(start);
+        self.free_lists[order as usize].insert(start >> order);
         Ok(())
     }
 
@@ -248,13 +347,13 @@ impl BuddyAllocator {
     /// Returns [`MemError::NotAllocated`] if `(start, order)` is not an
     /// allocated block.
     pub fn split_allocated(&mut self, start: u64, order: u32) -> Result<(), MemError> {
-        match self.allocated.get(&start) {
-            Some(&o) if o == order => {}
-            _ => return Err(MemError::NotAllocated),
+        if !self.is_allocated(start, order) {
+            return Err(MemError::NotAllocated);
         }
-        self.allocated.remove(&start);
-        for i in 0..(1u64 << order) {
-            self.allocated.insert(start + i, 0);
+        self.alloc_order[start as usize] = 0;
+        for i in 1..(1u64 << order) {
+            self.allocated.insert(start + i);
+            self.alloc_order[(start + i) as usize] = 0;
         }
         Ok(())
     }
@@ -262,12 +361,17 @@ impl BuddyAllocator {
     /// True if the block starting at `start` with the given order is
     /// currently allocated.
     pub fn is_allocated(&self, start: u64, order: u32) -> bool {
-        self.allocated.get(&start) == Some(&order)
+        start < self.total_frames
+            && self.allocated.contains(start)
+            && self.alloc_order[start as usize] as u32 == order
     }
 
-    /// Iterates over allocated blocks as `(start_frame, order)` pairs.
+    /// Iterates over allocated blocks as `(start_frame, order)` pairs in
+    /// ascending start order.
     pub fn allocated_blocks(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
-        self.allocated.iter().map(|(&s, &o)| (s, o))
+        self.allocated
+            .iter()
+            .map(|s| (s, self.alloc_order[s as usize] as u32))
     }
 
     /// Returns occupancy statistics.
@@ -295,7 +399,7 @@ impl BuddyAllocator {
 
     /// Whether an allocation of the given order would currently succeed.
     pub fn can_alloc(&self, order: u32) -> bool {
-        (order..=MAX_ORDER).any(|k| !self.free_lists[k as usize].is_empty())
+        (order..=MAX_ORDER).any(|k| self.free_lists[k as usize].len() > 0)
     }
 }
 

@@ -1,8 +1,6 @@
 //! Simulated physical memory: the buddy allocator plus per-block mobility
 //! metadata used by compaction.
 
-use std::collections::BTreeMap;
-
 use crate::{BuddyAllocator, BuddyStats, MemError, PageFrame, PageSize, PhysAddr};
 
 /// Mobility class of an allocated block, mirroring Linux's migrate types.
@@ -31,8 +29,9 @@ pub enum FrameState {
 #[derive(Debug, Clone)]
 pub struct PhysicalMemory {
     buddy: BuddyAllocator,
-    /// Mobility of each allocated block, keyed by start frame index.
-    mobility: BTreeMap<u64, FrameState>,
+    /// Mobility of the allocated block starting at each frame (dense:
+    /// one slot per frame, `None` where no allocated block starts).
+    mobility: Vec<Option<FrameState>>,
 }
 
 impl PhysicalMemory {
@@ -45,7 +44,7 @@ impl PhysicalMemory {
         assert!(frames > 0, "physical memory must hold at least one frame");
         Self {
             buddy: BuddyAllocator::new(frames),
-            mobility: BTreeMap::new(),
+            mobility: vec![None; frames as usize],
         }
     }
 
@@ -70,7 +69,7 @@ impl PhysicalMemory {
         state: FrameState,
     ) -> Result<PageFrame, MemError> {
         let start = self.buddy.alloc(size.buddy_order())?;
-        self.mobility.insert(start, state);
+        self.mobility[start as usize] = Some(state);
         Ok(PageFrame::new(
             PhysAddr::new(start * PageSize::Base4K.bytes()),
             size,
@@ -85,7 +84,7 @@ impl PhysicalMemory {
     pub fn free_page(&mut self, frame: PageFrame) -> Result<(), MemError> {
         let start = frame.base().raw() / PageSize::Base4K.bytes();
         self.buddy.free(start, frame.size().buddy_order())?;
-        self.mobility.remove(&start);
+        self.mobility[start as usize] = None;
         Ok(())
     }
 
@@ -104,13 +103,13 @@ impl PhysicalMemory {
             });
         }
         let start = frame.base().raw() / PageSize::Base4K.bytes();
-        let state = self.mobility.get(&start).copied().unwrap_or(FrameState::Movable);
+        let state = self.mobility[start as usize].unwrap_or(FrameState::Movable);
         self.buddy.split_allocated(start, frame.size().buddy_order())?;
-        self.mobility.remove(&start);
+        self.mobility[start as usize] = None;
         let count = frame.size().base_pages();
         let mut pieces = Vec::with_capacity(count as usize);
         for i in 0..count {
-            self.mobility.insert(start + i, state);
+            self.mobility[(start + i) as usize] = Some(state);
             pieces.push(PageFrame::new(
                 PhysAddr::new((start + i) * PageSize::Base4K.bytes()),
                 PageSize::Base4K,
@@ -131,14 +130,15 @@ impl PhysicalMemory {
 
     /// Mobility of the allocated block starting at `start_frame`, if any.
     pub fn mobility_of(&self, start_frame: u64) -> Option<FrameState> {
-        self.mobility.get(&start_frame).copied()
+        self.mobility.get(start_frame as usize).copied().flatten()
     }
 
     /// Iterates allocated blocks as `(start_frame, order, mobility)`.
     pub fn allocated_blocks(&self) -> impl Iterator<Item = (u64, u32, FrameState)> + '_ {
-        self.buddy
-            .allocated_blocks()
-            .map(move |(s, o)| (s, o, self.mobility[&s]))
+        self.buddy.allocated_blocks().map(move |(s, o)| {
+            let state = self.mobility[s as usize].expect("allocated block has mobility");
+            (s, o, state)
+        })
     }
 
     /// Mutable access to the underlying buddy allocator, for compaction.
@@ -153,12 +153,12 @@ impl PhysicalMemory {
 
     /// Records mobility for a block placed via `alloc_exact`-style paths.
     pub(crate) fn set_mobility(&mut self, start_frame: u64, state: FrameState) {
-        self.mobility.insert(start_frame, state);
+        self.mobility[start_frame as usize] = Some(state);
     }
 
     /// Drops mobility metadata for a block (compaction migration source).
     pub(crate) fn clear_mobility(&mut self, start_frame: u64) {
-        self.mobility.remove(&start_frame);
+        self.mobility[start_frame as usize] = None;
     }
 }
 

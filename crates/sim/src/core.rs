@@ -8,12 +8,14 @@
 //! [`crate::uncore::Uncore`]; the interleaved run loop in
 //! [`crate::System`] drives N of these against one uncore.
 
+use std::sync::Arc;
+
 use seesaw_check::{FaultInjector, ShadowChecker};
 use seesaw_coherence::CoherenceTraffic;
 use seesaw_core::{BaselineL1, L1DataCache, SchedulerHint, SeesawL1, VivtL1};
 use seesaw_mem::{AddressSpace, PhysAddr, Translation, VirtAddr};
 use seesaw_tlb::TlbHierarchy;
-use seesaw_workloads::TraceGenerator;
+use seesaw_workloads::{TraceGenerator, TraceRef};
 
 /// The L1 design under test, unified for the run loop.
 #[allow(clippy::large_enum_variant)]
@@ -67,40 +69,104 @@ pub(crate) struct Core {
     /// Instructions executed across every interleave() call, so injector
     /// schedules and checker diagnostics span warmup + measurement.
     pub elapsed: u64,
-    /// One-entry last-translation micro-cache in front of
-    /// `space.translate`: the prewarm replay and the per-access shadow
-    /// check walk the same page for many consecutive references, so one
-    /// remembered page-table entry short-circuits the page-table's
-    /// BTreeMap probes. Invalidated on *every* page-table mutation path
-    /// (splinters, promotions, shootdowns, memory pressure) — on every
-    /// core, since the address space is shared — so the differential
-    /// checker still compares against ground truth.
-    pub last_translation: Option<Translation>,
+    /// Interned page-table-walk results in front of `space.translate`:
+    /// one slot per 4 KB page of the workload VMA, so the prewarm replay
+    /// and the per-access shadow check resolve a translation with a
+    /// single indexed load instead of walking the page-table's BTreeMap.
+    /// Invalidated on *every* page-table mutation path (splinters,
+    /// promotions, shootdowns, memory pressure) — on every core, since
+    /// the address space is shared — so the differential checker still
+    /// compares against ground truth.
+    pub xlate: TranslationIntern,
+    /// References generated once during the functional prewarm (packed,
+    /// [`TraceRef::pack`], and shared process-wide across runs of the
+    /// same workload stream) and replayed by the warmup + measured
+    /// loops, so the mixture-model generator (several RNG draws and an
+    /// `ln()` per reference) runs once per stream instead of once per
+    /// run phase. The stream past the buffer continues from `generator`,
+    /// whose state sits exactly at the first unbuffered reference.
+    pub replay: Arc<[u64]>,
+    pub replay_cursor: usize,
 }
 
 impl Core {
-    /// Translates `va` through the one-entry last-translation micro-cache.
+    /// Next reference of this core's stream: the prewarm-recorded buffer
+    /// first, then the live generator (positioned immediately after the
+    /// buffered prefix, so the spliced stream is the generator's own).
+    #[inline]
+    pub fn next_ref(&mut self) -> TraceRef {
+        if let Some(&word) = self.replay.get(self.replay_cursor) {
+            self.replay_cursor += 1;
+            TraceRef::unpack(word)
+        } else {
+            self.generator.next_ref()
+        }
+    }
+
+    /// Translates `va` through the interned-translation table.
     ///
-    /// Workload traces have strong page locality, so consecutive
-    /// references usually land in the page the previous one resolved;
-    /// when they do, the physical address is synthesized from the cached
-    /// [`Translation`] without walking the page-table maps. The cached
-    /// entry is dropped on every page-table mutation so the answer is
-    /// always what `space.translate` would return — the shadow checker
-    /// compares against exactly this value.
+    /// A hit synthesizes the physical address from the interned
+    /// [`Translation`] without touching the page-table maps. Entries are
+    /// dropped on every page-table mutation so the answer is always what
+    /// `space.translate` would return — the shadow checker compares
+    /// against exactly this value.
     #[inline]
     pub fn translate_cached(&mut self, space: &AddressSpace, va: VirtAddr) -> Option<Translation> {
-        if let Some(t) = self.last_translation {
-            let base = t.vpage.base().raw();
-            if va.raw().wrapping_sub(base) < t.vpage.size().bytes() {
-                return Some(Translation {
-                    pa: PhysAddr::new(t.frame.base().raw() + (va.raw() - base)),
-                    ..t
-                });
+        let idx = (va.raw().wrapping_sub(self.xlate.base) >> 21) as usize;
+        if let Some(slot) = self.xlate.slots.get_mut(idx) {
+            if slot.0 == self.xlate.gen {
+                if let Some(t) = slot.1 {
+                    let base = t.vpage.base().raw();
+                    if va.raw().wrapping_sub(base) < t.vpage.size().bytes() {
+                        return Some(Translation {
+                            pa: PhysAddr::new(t.frame.base().raw() + (va.raw() - base)),
+                            ..t
+                        });
+                    }
+                }
             }
+            let t = space.translate(va)?;
+            *slot = (self.xlate.gen, Some(t));
+            Some(t)
+        } else {
+            space.translate(va)
         }
-        let t = space.translate(va)?;
-        self.last_translation = Some(t);
-        Some(t)
+    }
+}
+
+/// Per-core interned translations: one slot per 2 MB region of the
+/// workload VMA. A superpage-backed region (the common case under
+/// `ThpPolicy::Always`) is covered by its slot outright; a splintered
+/// region degrades to a per-region last-translation entry, still hit by
+/// the page-local runs the generator emits. A slot is live only while
+/// its generation stamp matches the table's current generation, so
+/// invalidation (which must cover the whole table — any page-table
+/// reshape can move any page) is a single counter bump instead of a
+/// clear, and the table costs one cache line per 2 MB of footprint.
+pub(crate) struct TranslationIntern {
+    /// VA of the workload VMA's first byte; slot index is
+    /// `(va - base) >> 21`.
+    base: u64,
+    /// Current generation; bumped by [`TranslationIntern::invalidate`].
+    gen: u64,
+    /// Per-slot `(generation, translation)` (generation 0 = never
+    /// filled; `gen` starts at 1).
+    slots: Vec<(u64, Option<Translation>)>,
+}
+
+impl TranslationIntern {
+    pub(crate) fn new(vma_base: u64, vma_bytes: u64) -> Self {
+        let regions = vma_bytes.div_ceil(2 << 20) as usize;
+        Self {
+            base: vma_base,
+            gen: 1,
+            slots: vec![(0, None); regions],
+        }
+    }
+
+    /// Drops every interned entry (O(1): stamps go stale, not zeroed).
+    #[inline]
+    pub(crate) fn invalidate(&mut self) {
+        self.gen += 1;
     }
 }

@@ -7,6 +7,14 @@ use crate::{TlbEntry, TlbStats};
 
 /// A fully-associative, multi-page-size TLB with true-LRU replacement.
 ///
+/// Entries are stored unordered with a parallel recency-stamp array
+/// instead of a most-recent-first vector, so a touch is a stamp write
+/// rather than a `remove` + `insert(0)` memmove. Recency order is fully
+/// encoded in the stamps: the hit entry is the highest-stamped match
+/// (what a front-to-back scan of an MRU-ordered list would return, even
+/// when multiple page sizes overlap a VA) and the eviction victim is the
+/// minimum stamp (the list's tail).
+///
 /// # Example
 /// ```
 /// use seesaw_tlb::{FullyAssocTlb, TlbEntry};
@@ -23,8 +31,12 @@ use crate::{TlbEntry, TlbStats};
 #[derive(Debug, Clone)]
 pub struct FullyAssocTlb {
     capacity: usize,
-    /// Entries, most-recently-used first.
+    /// Entries, unordered; recency lives in `stamps`.
     entries: Vec<TlbEntry>,
+    /// Recency stamp per entry (higher = more recent), parallel to
+    /// `entries`.
+    stamps: Vec<u64>,
+    clock: u64,
     stats: TlbStats,
 }
 
@@ -38,6 +50,8 @@ impl FullyAssocTlb {
         Self {
             capacity,
             entries: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
+            clock: 0,
             stats: TlbStats::default(),
         }
     }
@@ -59,11 +73,11 @@ impl FullyAssocTlb {
 
     /// Looks up a translation (any page size), updating LRU on hit.
     pub fn lookup(&mut self, va: VirtAddr, asid: u16) -> Option<TlbEntry> {
-        if let Some(pos) = self.entries.iter().position(|e| e.matches(va, asid)) {
-            let entry = self.entries.remove(pos);
-            self.entries.insert(0, entry);
+        if let Some(pos) = self.mru_match(va, asid) {
+            self.clock += 1;
+            self.stamps[pos] = self.clock;
             self.stats.hits += 1;
-            Some(entry)
+            Some(self.entries[pos])
         } else {
             self.stats.misses += 1;
             None
@@ -72,7 +86,7 @@ impl FullyAssocTlb {
 
     /// Checks for a translation without side effects.
     pub fn probe(&self, va: VirtAddr, asid: u16) -> Option<TlbEntry> {
-        self.entries.iter().copied().find(|e| e.matches(va, asid))
+        self.mru_match(va, asid).map(|pos| self.entries[pos])
     }
 
     /// Inserts an entry, evicting the LRU entry when full. Returns the
@@ -84,38 +98,70 @@ impl FullyAssocTlb {
             .iter()
             .position(|e| e.vpn == entry.vpn && e.size == entry.size && e.asid == entry.asid)
         {
-            self.entries.remove(pos);
-            self.entries.insert(0, entry);
+            self.entries[pos] = entry;
+            self.clock += 1;
+            self.stamps[pos] = self.clock;
             return None;
         }
         let evicted = if self.entries.len() == self.capacity {
             self.stats.evictions += 1;
-            self.entries.pop()
+            let victim = self.lru_index().expect("full TLB has a victim");
+            self.stamps.swap_remove(victim);
+            Some(self.entries.swap_remove(victim))
         } else {
             None
         };
-        self.entries.insert(0, entry);
+        self.entries.push(entry);
+        self.clock += 1;
+        self.stamps.push(self.clock);
         evicted
     }
 
     /// Removes any entry covering `page`.
     pub fn invalidate_page(&mut self, page: VirtPage) {
-        let before = self.entries.len();
-        self.entries.retain(|e| !e.covers_page(page));
-        self.stats.invalidations += (before - self.entries.len()) as u64;
+        self.remove_where(|e| e.covers_page(page));
     }
 
     /// Removes every entry.
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.stamps.clear();
         self.stats.flushes += 1;
     }
 
     /// Removes every entry belonging to `asid`.
     pub fn flush_asid(&mut self, asid: u16) {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.asid != asid);
-        self.stats.invalidations += (before - self.entries.len()) as u64;
+        self.remove_where(|e| e.asid == asid);
+    }
+
+    /// The index of the most-recently-used entry matching `va` — the entry
+    /// a front-to-back scan of an MRU-ordered list would find first.
+    fn mru_match(&self, va: VirtAddr, asid: u16) -> Option<usize> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.matches(va, asid) && best.map(|(_, s)| self.stamps[i] > s).unwrap_or(true) {
+                best = Some((i, self.stamps[i]));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// The index of the least-recently-used entry.
+    fn lru_index(&self) -> Option<usize> {
+        (0..self.stamps.len()).min_by_key(|&i| self.stamps[i])
+    }
+
+    fn remove_where<F: Fn(&TlbEntry) -> bool>(&mut self, pred: F) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            if pred(&self.entries[i]) {
+                self.entries.swap_remove(i);
+                self.stamps.swap_remove(i);
+                self.stats.invalidations += 1;
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Access counters.

@@ -1,11 +1,18 @@
 //! Set-associative TLB for a single page size — the organization Intel
 //! uses for its split L1 TLBs and unified L2 TLB (§II-B).
 
-use seesaw_mem::{PageSize, VirtAddr, VirtPage};
+use seesaw_mem::{PageSize, PhysAddr, VirtAddr, VirtPage};
 
 use crate::{TlbEntry, TlbStats};
 
 /// A set-associative, single-page-size TLB with true-LRU replacement.
+///
+/// Entry state lives in dense parallel arrays indexed by
+/// `set * ways + way` (vpn / frame / asid / valid), and recency is a flat
+/// stamp array instead of per-set order vectors: the LRU victim is the
+/// minimum stamp, which is only ever consulted when every way in the set
+/// is occupied (and therefore stamped), so it selects exactly the way a
+/// most-recent-first order list would.
 ///
 /// # Example
 /// ```
@@ -26,10 +33,20 @@ pub struct SetAssocTlb {
     size: PageSize,
     sets: usize,
     ways: usize,
-    /// `sets × ways` entry slots.
-    slots: Vec<Option<TlbEntry>>,
-    /// LRU ordering per set: way indices, most-recent first.
-    lru: Vec<Vec<usize>>,
+    /// `sets - 1` when the set count is a power of two (index by AND),
+    /// zero otherwise (index by modulo).
+    set_mask: usize,
+    /// Virtual page numbers, `sets × ways`.
+    vpns: Vec<u64>,
+    /// Frame base addresses (raw), parallel to `vpns`.
+    frames: Vec<u64>,
+    /// Address-space identifiers, parallel to `vpns`.
+    asids: Vec<u16>,
+    /// Occupancy flags, parallel to `vpns`.
+    valid: Vec<bool>,
+    /// Recency stamps (higher = more recent), parallel to `vpns`.
+    stamps: Vec<u64>,
+    clock: u64,
     stats: TlbStats,
 }
 
@@ -46,8 +63,13 @@ impl SetAssocTlb {
             size,
             sets,
             ways,
-            slots: vec![None; entries],
-            lru: (0..sets).map(|_| (0..ways).collect()).collect(),
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
+            vpns: vec![0; entries],
+            frames: vec![0; entries],
+            asids: vec![0; entries],
+            valid: vec![false; entries],
+            stamps: vec![0; entries],
+            clock: 0,
             stats: TlbStats::default(),
         }
     }
@@ -65,19 +87,19 @@ impl SetAssocTlb {
     /// Number of currently valid entries — drives SEESAW's scheduler-hint
     /// occupancy counter (§IV-B3).
     pub fn valid_entries(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.valid.iter().filter(|&&v| v).count()
     }
 
     /// Looks up a translation, updating LRU and counters on hit.
     pub fn lookup(&mut self, va: VirtAddr, asid: u16) -> Option<TlbEntry> {
-        let set = self.set_of(va);
-        for way in 0..self.ways {
-            if let Some(entry) = self.slots[set * self.ways + way] {
-                if entry.matches(va, asid) {
-                    self.touch(set, way);
-                    self.stats.hits += 1;
-                    return Some(entry);
-                }
+        let vpn = va.page_number(self.size);
+        let base = self.set_of_vpn(vpn) * self.ways;
+        for idx in base..base + self.ways {
+            if self.valid[idx] && self.vpns[idx] == vpn && self.asids[idx] == asid {
+                self.clock += 1;
+                self.stamps[idx] = self.clock;
+                self.stats.hits += 1;
+                return Some(self.entry_at(idx));
             }
         }
         self.stats.misses += 1;
@@ -86,10 +108,11 @@ impl SetAssocTlb {
 
     /// Checks for a translation without updating LRU or counters.
     pub fn probe(&self, va: VirtAddr, asid: u16) -> Option<TlbEntry> {
-        let set = self.set_of(va);
-        (0..self.ways)
-            .filter_map(|way| self.slots[set * self.ways + way])
-            .find(|entry| entry.matches(va, asid))
+        let vpn = va.page_number(self.size);
+        let base = self.set_of_vpn(vpn) * self.ways;
+        (base..base + self.ways)
+            .find(|&idx| self.valid[idx] && self.vpns[idx] == vpn && self.asids[idx] == asid)
+            .map(|idx| self.entry_at(idx))
     }
 
     /// Inserts an entry, evicting the LRU way if the set is full. Returns
@@ -99,24 +122,31 @@ impl SetAssocTlb {
     /// Panics if the entry's page size differs from this TLB's.
     pub fn fill(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
         assert_eq!(entry.size, self.size, "page size mismatch on fill");
-        let set = (entry.vpn as usize) % self.sets;
+        let set = self.set_of_vpn(entry.vpn);
+        let base = set * self.ways;
         // Refill over an existing entry for the same page, or an empty way,
-        // or the LRU way.
-        let way = (0..self.ways)
-            .find(|&w| {
-                self.slots[set * self.ways + w]
-                    .map(|e| e.vpn == entry.vpn && e.asid == entry.asid)
-                    .unwrap_or(false)
-            })
-            .or_else(|| (0..self.ways).find(|&w| self.slots[set * self.ways + w].is_none()))
-            .unwrap_or_else(|| *self.lru[set].last().expect("non-empty lru"));
-        let evicted = self.slots[set * self.ways + way]
-            .filter(|e| e.vpn != entry.vpn || e.asid != entry.asid);
+        // or the LRU way (minimum stamp: every way is stamped once the set
+        // is full, so this is the least-recently-touched way).
+        let idx = (base..base + self.ways)
+            .find(|&i| self.valid[i] && self.vpns[i] == entry.vpn && self.asids[i] == entry.asid)
+            .or_else(|| (base..base + self.ways).find(|&i| !self.valid[i]))
+            .unwrap_or_else(|| {
+                (base..base + self.ways)
+                    .min_by_key(|&i| self.stamps[i])
+                    .expect("at least one way")
+            });
+        let evicted = (self.valid[idx]
+            && (self.vpns[idx] != entry.vpn || self.asids[idx] != entry.asid))
+            .then(|| self.entry_at(idx));
         if evicted.is_some() {
             self.stats.evictions += 1;
         }
-        self.slots[set * self.ways + way] = Some(entry);
-        self.touch(set, way);
+        self.vpns[idx] = entry.vpn;
+        self.frames[idx] = entry.frame_base.raw();
+        self.asids[idx] = entry.asid;
+        self.valid[idx] = true;
+        self.clock += 1;
+        self.stamps[idx] = self.clock;
         self.stats.fills += 1;
         evicted
     }
@@ -126,11 +156,11 @@ impl SetAssocTlb {
         if page.size() != self.size {
             return;
         }
-        let set = (page.number() as usize) % self.sets;
-        for way in 0..self.ways {
-            let slot = &mut self.slots[set * self.ways + way];
-            if slot.map(|e| e.covers_page(page)).unwrap_or(false) {
-                *slot = None;
+        let vpn = page.number();
+        let base = self.set_of_vpn(vpn) * self.ways;
+        for idx in base..base + self.ways {
+            if self.valid[idx] && self.vpns[idx] == vpn {
+                self.valid[idx] = false;
                 self.stats.invalidations += 1;
             }
         }
@@ -138,15 +168,15 @@ impl SetAssocTlb {
 
     /// Removes every entry.
     pub fn flush(&mut self) {
-        self.slots.iter_mut().for_each(|s| *s = None);
+        self.valid.iter_mut().for_each(|v| *v = false);
         self.stats.flushes += 1;
     }
 
     /// Removes every entry belonging to `asid` (context teardown).
     pub fn flush_asid(&mut self, asid: u16) {
-        for slot in &mut self.slots {
-            if slot.map(|e| e.asid == asid).unwrap_or(false) {
-                *slot = None;
+        for idx in 0..self.valid.len() {
+            if self.valid[idx] && self.asids[idx] == asid {
+                self.valid[idx] = false;
                 self.stats.invalidations += 1;
             }
         }
@@ -157,15 +187,23 @@ impl SetAssocTlb {
         self.stats
     }
 
-    fn set_of(&self, va: VirtAddr) -> usize {
-        (va.page_number(self.size) as usize) % self.sets
+    #[inline]
+    fn set_of_vpn(&self, vpn: u64) -> usize {
+        if self.set_mask != 0 {
+            (vpn as usize) & self.set_mask
+        } else {
+            (vpn as usize) % self.sets
+        }
     }
 
-    fn touch(&mut self, set: usize, way: usize) {
-        let order = &mut self.lru[set];
-        let pos = order.iter().position(|&w| w == way).expect("way in lru");
-        order.remove(pos);
-        order.insert(0, way);
+    #[inline]
+    fn entry_at(&self, idx: usize) -> TlbEntry {
+        TlbEntry {
+            vpn: self.vpns[idx],
+            frame_base: PhysAddr::new(self.frames[idx]),
+            size: self.size,
+            asid: self.asids[idx],
+        }
     }
 }
 

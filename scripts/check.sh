@@ -14,6 +14,9 @@ cargo test -q --workspace
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> microbenches in --test mode (every bench body runs once, pass/fail)"
+cargo bench -p seesaw-bench --benches -- --test
+
 echo "==> fault-injected checker run (fixed seed, all fault kinds)"
 cargo test --release -q --test checker
 

@@ -1,0 +1,103 @@
+//! Layout-equivalence properties for the data-oriented hot path.
+//!
+//! The speed campaign (ISSUE 7) rebuilt the per-reference loop around
+//! packed replay buffers, interned translations, and process-wide warm
+//! artifact caches. These properties pin that machinery to the reference
+//! semantics: the packed/batched stream is *exactly* the generator's
+//! stream, and a run served from the warm caches is bit-identical to a
+//! cold run — same stats, same per-invariant checker counters — at 1
+//! and 2 cores.
+
+use proptest::prelude::*;
+
+use seesaw_sim::{L1DesignKind, RunConfig, System};
+use seesaw_workloads::{catalog, TraceGenerator, TraceRef};
+
+proptest! {
+    /// Pack/unpack is lossless over the generator's real output, and the
+    /// batched 64-reference fill leaves the generator positioned exactly
+    /// where per-reference dispatch would — so a replayed prefix spliced
+    /// with live generation is indistinguishable from the live stream.
+    #[test]
+    fn packed_stream_is_the_generator_stream(
+        wl in 0usize..16,
+        seed in any::<u64>(),
+        n in 1usize..512,
+    ) {
+        let spec = catalog()[wl % catalog().len()];
+        let mut live = TraceGenerator::new(&spec, seed);
+        let mut batched = live.clone();
+
+        // Record `n` references the way the prewarm does: 64-reference
+        // chunks into a scratch buffer, packed to u64 words.
+        let mut scratch = Vec::new();
+        let mut packed: Vec<u64> = Vec::new();
+        while packed.len() < n {
+            batched.fill_refs(&mut scratch, 64.min(n - packed.len()));
+            packed.extend(scratch.drain(..).map(|r| r.pack()));
+        }
+
+        // The packed words round-trip to the live stream, reference by
+        // reference.
+        for word in packed {
+            prop_assert_eq!(TraceRef::unpack(word), live.next_ref());
+        }
+        // And past the recorded prefix both generators continue in
+        // lockstep: batching did not skew the RNG call order.
+        for _ in 0..32 {
+            prop_assert_eq!(batched.next_ref(), live.next_ref());
+        }
+    }
+}
+
+proptest! {
+    // Whole-system runs are heavy, so this block trades case count for
+    // workload diversity; every case still covers both core counts.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Running the same configuration twice — the first run populating
+    /// the process-wide artifact caches (memory image, packed replay
+    /// streams, prewarmed outer hierarchy), the second served from them
+    /// — produces bit-identical results at 1 and 2 cores: every stat,
+    /// every metrics counter, and every per-invariant shadow-checker
+    /// counter.
+    #[test]
+    fn warm_cache_replay_is_bit_identical(wl in 0usize..16, size_sel in 0usize..2) {
+        for cores in [1usize, 2] {
+            let name = catalog()[wl % catalog().len()].name;
+            let cfg = RunConfig::quick(name)
+                .design(L1DesignKind::Seesaw)
+                .l1_size([32, 64][size_sel])
+                .cores(cores)
+                .with_checker()
+                .instructions(20_000);
+            let run = |cfg: &RunConfig| {
+                System::build(cfg)
+                    .unwrap_or_else(|e| panic!("build: {e}"))
+                    .run()
+                    .unwrap_or_else(|e| panic!("run: {e}"))
+            };
+            let cold = run(&cfg);
+            let warm = run(&cfg);
+
+            // Per-invariant checker counters, compared explicitly so a
+            // divergence names the invariant.
+            let cold_check = cold.checker.as_ref().expect("checker enabled");
+            let warm_check = warm.checker.as_ref().expect("checker enabled");
+            prop_assert_eq!(cold_check.loads_checked, warm_check.loads_checked);
+            prop_assert_eq!(
+                format!("{:?}", cold_check.violations),
+                format!("{:?}", warm_check.violations)
+            );
+
+            // Then the whole result — totals, energy, MPKIs, histograms,
+            // the full metrics registry — via its exhaustive Debug form.
+            prop_assert_eq!(
+                format!("{cold:?}"),
+                format!("{warm:?}"),
+                "cores = {}: warm-cache run diverged from cold run",
+                cores
+            );
+        }
+    }
+}
