@@ -38,40 +38,10 @@ pub fn ok_or_exit<T>(result: Result<T, seesaw_sim::SimError>) -> T {
 /// panicked / timed out / was retried, the matching `[store]` and
 /// `[supervisor]` lines follow.
 pub fn print_memo_stats() {
-    let s = seesaw_sim::runner::memo_stats();
-    println!(
-        "[memo] {} hits / {} misses ({} distinct configs simulated)",
-        s.hits, s.misses, s.entries
-    );
-    if let Some(store) = seesaw_sim::store::process_store() {
-        let s = store.stats();
-        println!(
-            "[store] {} at {}: {} hits ({} failures) / {} misses, {} writes ({} errors), {} corrupt, {} traced skipped",
-            store.len(),
-            store.dir().display(),
-            s.hits,
-            s.failure_hits,
-            s.misses,
-            s.writes,
-            s.write_errors,
-            s.corrupt,
-            s.traced_skipped
-        );
-    }
-    let sup = seesaw_sim::runner::supervisor_stats();
-    if sup.panics_caught + sup.timeouts + sup.retries + sup.permanent_failures + sup.cells_skipped
-        > 0
-    {
-        println!(
-            "[supervisor] {} cells: {} panics caught, {} timeouts, {} retries, {} permanent failures, {} skipped",
-            sup.cells,
-            sup.panics_caught,
-            sup.timeouts,
-            sup.retries,
-            sup.permanent_failures,
-            sup.cells_skipped
-        );
-    }
+    // One structured emitter owns these lines now (`OpsSummary`); the
+    // `[memo]` / `[store]` shapes are scraped by `scripts/bench.sh`, so
+    // its renderer pins them with a test.
+    println!("{}", seesaw_sim::OpsSummary::process().render());
 }
 
 /// Standard sweep-binary epilogue: prints the memo counters, and — when
@@ -143,6 +113,56 @@ pub fn finish(name: &str) {
         jsonl_path.display(),
         trace.events.len(),
         trace.dropped
+    );
+
+    // Prometheus textfile + metrics CSV: the traced run's full registry
+    // widened with the process-wide harness counters (`memo.*`,
+    // `supervisor.*`, `store.*`, `ops.sweep.*`) as gauges, and the
+    // latency/wall-clock log2 histograms as native Prometheus
+    // histograms. Validated with the independent parser before it
+    // lands, same two-sided discipline as the JSONL stream.
+    use seesaw_trace::Collect;
+    let mut registry = result.metrics.clone();
+    seesaw_sim::runner::memo_stats().collect("memo", &mut registry);
+    seesaw_sim::runner::supervisor_stats().collect("supervisor", &mut registry);
+    if let Some(store) = seesaw_sim::store::process_store() {
+        store.stats().collect("store", &mut registry);
+    }
+    seesaw_sim::runner::session_ops().collect("ops.sweep", &mut registry);
+    let mut cell_wall_ms = seesaw_trace::Log2Histogram::new();
+    for cell in seesaw_sim::runner::session_journal()
+        .iter()
+        .filter(|c| !c.memo_hit)
+    {
+        cell_wall_ms.record(cell.dur_us / 1000);
+    }
+    cell_wall_ms.collect("ops.cell.wall_ms", &mut registry);
+
+    let mut prom = seesaw_trace::Prometheus::new("seesaw");
+    prom.histogram("tlb.walk_latency", &result.walk_latency);
+    prom.histogram("l1.miss_penalty", &result.miss_penalty);
+    prom.histogram("ops.cell.wall_ms", &cell_wall_ms);
+    prom.gauges(&registry);
+    let prom_text = prom.render();
+    if let Err(e) = seesaw_trace::prometheus::validate(&prom_text) {
+        eprintln!("error: emitted Prometheus textfile failed validation: {e}");
+        std::process::exit(1);
+    }
+    let prom_path = dir.join(format!("{name}.prom"));
+    if let Err(e) = std::fs::write(&prom_path, &prom_text) {
+        eprintln!("error: writing {}: {e}", prom_path.display());
+        std::process::exit(1);
+    }
+    let csv_path = dir.join(format!("{name}.metrics.csv"));
+    if let Err(e) = std::fs::write(&csv_path, registry.to_csv()) {
+        eprintln!("error: writing {}: {e}", csv_path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "[trace] wrote {} ({} metrics) and {}",
+        prom_path.display(),
+        registry.len(),
+        csv_path.display()
     );
 }
 

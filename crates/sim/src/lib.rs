@@ -50,12 +50,14 @@
 mod chart;
 mod config;
 mod core;
+pub mod diff;
 mod error;
 pub mod experiments;
 mod report;
 pub mod repro;
 pub mod runner;
 mod stats;
+pub mod status;
 pub mod store;
 mod system;
 mod uncore;
@@ -65,8 +67,10 @@ pub use config::{
     SupervisorConfig, SweepPolicy,
 };
 pub use chart::BarChart;
+pub use diff::{BenchDiff, BenchRun, FigureDelta, FigureStats, MetricDelta};
 pub use error::SimError;
 pub use report::Table;
+pub use status::{OpsSummary, StatusBoard, StatusWriter};
 pub use runner::{
     CellChaos, CellContext, CellRecord, FailedCell, MemoStats, Plan, PlanOutcomes, PlanRun,
     SupervisorStats, SweepReport,

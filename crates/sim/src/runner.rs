@@ -70,8 +70,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, Once, OnceLock};
 use std::time::{Duration, Instant};
 
-use seesaw_trace::{ChromeTrace, Collect, MetricsRegistry};
+use seesaw_trace::ops::{CellProgress, CellState, OpsSweepStats};
+use seesaw_trace::{ChromeTrace, Collect, Log2Histogram, MetricsRegistry};
 
+use crate::status::{self, StatusBoard, StatusWriter};
 use crate::store::{self, Store, StoreStats, StoredOutcome};
 use crate::{RunConfig, RunResult, SimError, SupervisorConfig, SweepPolicy, System};
 
@@ -462,6 +464,35 @@ fn fold_supervisor_totals(delta: SupervisorStats) {
     t.cells_skipped += delta.cells_skipped;
 }
 
+static SESSION_OPS: OnceLock<Mutex<OpsSweepStats>> = OnceLock::new();
+
+fn session_ops_slot() -> &'static Mutex<OpsSweepStats> {
+    SESSION_OPS.get_or_init(|| Mutex::new(OpsSweepStats::default()))
+}
+
+fn fold_session_ops(delta: &OpsSweepStats) {
+    let mut t = session_ops_slot().lock().expect("session ops lock");
+    t.cells += delta.cells;
+    t.done += delta.done;
+    t.failed += delta.failed;
+    t.skipped += delta.skipped;
+    t.cached += delta.cached;
+    t.instructions += delta.instructions;
+}
+
+/// The process-wide accumulation of every sweep's terminal ops rollup
+/// (cell state counts, fresh-simulation instructions), with the
+/// throughput recomputed over the process journal origin — the
+/// `ops.sweep.*` numbers the bench epilogue exports to Prometheus.
+pub fn session_ops() -> OpsSweepStats {
+    let mut s = *session_ops_slot().lock().expect("session ops lock");
+    let elapsed = process_origin().elapsed().as_secs_f64();
+    if elapsed > 0.0 {
+        s.minstr_per_sec = s.instructions as f64 / elapsed / 1e6;
+    }
+    s
+}
+
 /// One attempt of one cell on its own named thread. The simulation, the
 /// chaos hook, and the store write-back all happen *inside* the thread,
 /// behind `catch_unwind`, so a panic anywhere in that path is isolated
@@ -476,6 +507,7 @@ fn attempt_cell(
     attempt: u32,
     store_handle: Option<&Arc<Store>>,
     timeout: Option<Duration>,
+    progress: Option<Arc<CellProgress>>,
 ) -> Result<RunResult, SimError> {
     install_cell_panic_silencer();
     let digest = store::digest(key);
@@ -488,6 +520,11 @@ fn attempt_cell(
     let spawned = std::thread::Builder::new()
         .name(format!("{CELL_THREAD_PREFIX}{}", &digest[..8]))
         .spawn(move || {
+            // The heartbeat is per *attempt*: this fresh thread installs
+            // its own Arc, so a previous watchdog-killed attempt — still
+            // running somewhere, unkillable in safe Rust — keeps writing
+            // into an Arc the status board no longer reads.
+            status::set_cell_progress(progress);
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 let mut hang_after_ms = None;
                 match consult_chaos(&CellContext {
@@ -560,12 +597,22 @@ fn run_supervised(
     sup: &SupervisorConfig,
     store_handle: Option<&Arc<Store>>,
     tally: &SupervisorTally,
+    status: Option<(&StatusBoard, &[usize])>,
 ) -> Result<RunResult, SimError> {
     tally.cells.fetch_add(1, Ordering::Relaxed);
     let digest = store::digest64(key);
     let mut attempt = 0u32;
     loop {
-        let outcome = attempt_cell(label, key, config, attempt, store_handle, sup.timeout);
+        let progress = status.map(|(board, cells)| board.start_attempt(cells, attempt));
+        let outcome = attempt_cell(
+            label,
+            key,
+            config,
+            attempt,
+            store_handle,
+            sup.timeout,
+            progress,
+        );
         match &outcome {
             Err(SimError::Panic { .. }) => {
                 tally.panics_caught.fetch_add(1, Ordering::Relaxed);
@@ -576,13 +623,26 @@ fn run_supervised(
             _ => {}
         }
         match outcome {
-            Ok(result) => return Ok(result),
+            Ok(result) => {
+                if let Some((board, cells)) = status {
+                    board.finish(cells, CellState::Done);
+                }
+                return Ok(result);
+            }
             Err(e) if e.is_retryable() && attempt < sup.max_retries => {
                 tally.retries.fetch_add(1, Ordering::Relaxed);
+                if let Some((board, cells)) = status {
+                    board.retrying(cells, attempt + 1);
+                }
                 std::thread::sleep(sup.backoff_delay(digest, attempt));
                 attempt += 1;
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                if let Some((board, cells)) = status {
+                    board.finish(cells, CellState::Failed);
+                }
+                return Err(e);
+            }
         }
     }
 }
@@ -603,6 +663,19 @@ enum StoreMode {
     Disabled,
 }
 
+/// Where a sweep publishes live `status.json` snapshots (mirrors
+/// [`StoreMode`]).
+#[derive(Debug, Clone, Default)]
+enum StatusMode {
+    /// The directory named by `SEESAW_STATUS`, when set.
+    #[default]
+    Env,
+    /// An explicit directory (tests use this to avoid env coupling).
+    Explicit(PathBuf),
+    /// No live status, even if `SEESAW_STATUS` is set.
+    Disabled,
+}
+
 /// An ordered grid of labelled simulation cells.
 ///
 /// Drivers push one cell per `System::build(..)?.run()?` they need,
@@ -614,6 +687,8 @@ pub struct Plan {
     cells: Vec<(String, RunConfig)>,
     threads: Option<usize>,
     store: StoreMode,
+    status: StatusMode,
+    name: Option<String>,
 }
 
 impl Plan {
@@ -646,11 +721,41 @@ impl Plan {
         self
     }
 
+    /// Builder: names the sweep (shown in `status.json` and the
+    /// `seesaw-status` CLI; defaults to `"sweep"`).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Builder: publish live status snapshots to this directory instead
+    /// of (or regardless of) `SEESAW_STATUS`.
+    pub fn with_status(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.status = StatusMode::Explicit(dir.into());
+        self
+    }
+
+    /// Builder: never publish live status, even if `SEESAW_STATUS` is
+    /// set (replays and shrinker probes use this — dozens of throwaway
+    /// probe plans would otherwise fight over one `status.json`).
+    pub fn without_status(mut self) -> Self {
+        self.status = StatusMode::Disabled;
+        self
+    }
+
     fn resolve_store(&self) -> Option<Arc<Store>> {
         match &self.store {
             StoreMode::Env => store::process_store().cloned(),
             StoreMode::Explicit(s) => Some(s.clone()),
             StoreMode::Disabled => None,
+        }
+    }
+
+    fn resolve_status_dir(&self) -> Option<PathBuf> {
+        match &self.status {
+            StatusMode::Env => status::status_dir_from_env(),
+            StatusMode::Explicit(d) => Some(d.clone()),
+            StatusMode::Disabled => None,
         }
     }
 
@@ -723,42 +828,99 @@ impl Plan {
     /// deterministic. Everything else — results, failures, backoff
     /// delays — is deterministic at any worker count.
     pub fn run_sweep(self, policy: SweepPolicy) -> SweepReport {
+        let sweep_started = Instant::now();
         let threads = self.threads.unwrap_or_else(worker_threads);
         let origin = process_origin();
         let store_handle = self.resolve_store();
+        let status_dir = self.resolve_status_dir();
+        let sweep_name = self.name.clone().unwrap_or_else(|| "sweep".to_string());
         let keys: Vec<String> = self.cells.iter().map(|(_, c)| fingerprint(c)).collect();
 
         // Distinct configurations not already memoized become jobs —
         // after a detour through the persistent store, which turns a
-        // relaunched sweep's would-be jobs back into hits.
+        // relaunched sweep's would-be jobs back into hits. Each cell's
+        // resolution is classified on the way for the status board:
+        // served from cache (ok or failure), or produced by job `j`.
+        enum CellSource {
+            CachedOk,
+            CachedFailed,
+            Job(usize),
+        }
+        let mut sources: Vec<CellSource> = Vec::with_capacity(self.cells.len());
         let mut jobs: Vec<(String, String, RunConfig)> = Vec::new();
         {
             let mut m = memo().lock().expect("memo lock");
-            let mut queued: HashSet<String> = HashSet::new();
+            let mut queued: HashMap<&str, usize> = HashMap::new();
             for ((label, cfg), key) in self.cells.iter().zip(&keys) {
-                if m.results.contains_key(key.as_str())
-                    || m.failures.contains_key(key.as_str())
-                    || queued.contains(key.as_str())
-                {
+                if m.results.contains_key(key.as_str()) {
+                    sources.push(CellSource::CachedOk);
+                    continue;
+                }
+                if m.failures.contains_key(key.as_str()) {
+                    sources.push(CellSource::CachedFailed);
+                    continue;
+                }
+                if let Some(&j) = queued.get(key.as_str()) {
+                    sources.push(CellSource::Job(j));
                     continue;
                 }
                 if let Some(store) = &store_handle {
                     match store.get(key) {
                         Some(StoredOutcome::Result(result)) => {
                             m.results.insert(key.clone(), *result);
+                            sources.push(CellSource::CachedOk);
                             continue;
                         }
                         Some(StoredOutcome::Failure(error)) => {
                             m.failures.insert(key.clone(), FailureEntry::new(error));
+                            sources.push(CellSource::CachedFailed);
                             continue;
                         }
                         None => {}
                     }
                 }
-                queued.insert(key.clone());
+                queued.insert(key.as_str(), jobs.len());
+                sources.push(CellSource::Job(jobs.len()));
                 jobs.push((key.clone(), label.clone(), cfg.clone()));
             }
         }
+
+        // Live status (`SEESAW_STATUS`): cached cells resolve on the
+        // board instantly; each job updates every plan cell it serves
+        // (duplicates share one simulation, hence one heartbeat).
+        let job_cells: Vec<Vec<usize>> = {
+            let mut v = vec![Vec::new(); jobs.len()];
+            for (i, s) in sources.iter().enumerate() {
+                if let CellSource::Job(j) = s {
+                    v[*j].push(i);
+                }
+            }
+            v
+        };
+        let board_writer: Option<(Arc<StatusBoard>, StatusWriter)> = status_dir.and_then(|dir| {
+            let meta: Vec<(String, String)> = self
+                .cells
+                .iter()
+                .zip(&keys)
+                .map(|((label, _), key)| (label.clone(), store::digest(key)[..8].to_string()))
+                .collect();
+            let board = StatusBoard::new(&sweep_name, &meta, threads);
+            for (i, s) in sources.iter().enumerate() {
+                match s {
+                    CellSource::CachedOk => board.cached(i, false),
+                    CellSource::CachedFailed => board.cached(i, true),
+                    CellSource::Job(_) => {}
+                }
+            }
+            match StatusWriter::spawn(board.clone(), &dir, status::status_interval_from_env()) {
+                Ok(writer) => Some((board, writer)),
+                Err(e) => {
+                    // Live status is best-effort; the sweep is not.
+                    eprintln!("[status] disabled: cannot write {}: {e}", dir.display());
+                    None
+                }
+            }
+        });
 
         // Like `parallel_map_with`, but each worker runs its jobs under
         // the supervisor, honors the sweep's failure budget, and stamps
@@ -780,24 +942,39 @@ impl Plan {
                 let jobs = &jobs;
                 let store_handle = &store_handle;
                 let sup = &policy.supervisor;
+                let board_writer = &board_writer;
+                let job_cells = &job_cells;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
                     }
                     let (key, label, cfg) = &jobs[i];
+                    let status = board_writer
+                        .as_ref()
+                        .map(|(board, _)| (board.as_ref(), job_cells[i].as_slice()));
                     let start_us = origin.elapsed().as_micros() as u64;
                     let budget_spent = policy
                         .max_failures
                         .is_some_and(|n| permanent.load(Ordering::Relaxed) > n);
                     let outcome = if budget_spent {
                         tally.cells_skipped.fetch_add(1, Ordering::Relaxed);
+                        if let Some((board, cells)) = status {
+                            board.finish(cells, CellState::Skipped);
+                        }
                         Err(SimError::Skipped {
                             cell: label.clone(),
                         })
                     } else {
-                        let out =
-                            run_supervised(label, key, cfg, sup, store_handle.as_ref(), tally);
+                        let out = run_supervised(
+                            label,
+                            key,
+                            cfg,
+                            sup,
+                            store_handle.as_ref(),
+                            tally,
+                            status,
+                        );
                         if out.as_ref().is_err() {
                             tally.permanent_failures.fetch_add(1, Ordering::Relaxed);
                             permanent.fetch_add(1, Ordering::Relaxed);
@@ -930,6 +1107,44 @@ impl Plan {
         let supervisor = tally.snapshot();
         fold_supervisor_totals(supervisor);
 
+        // Terminal ops rollup — computed from the outcomes whether or
+        // not a status board was live, so `SweepReport::metrics` always
+        // carries `ops.sweep.*`. Instructions count the fresh
+        // simulations' measured windows; the rate is over this sweep's
+        // own wall clock.
+        let ops = {
+            let mut ops = OpsSweepStats {
+                cells: keys.len() as u64,
+                cached: memo_delta.hits,
+                ..OpsSweepStats::default()
+            };
+            for outcome in &outcomes {
+                match outcome {
+                    Ok(_) => ops.done += 1,
+                    Err(SimError::Skipped { .. }) => ops.skipped += 1,
+                    Err(_) => ops.failed += 1,
+                }
+            }
+            ops.instructions = local
+                .values()
+                .filter_map(|o| o.as_ref().ok())
+                .map(|r| r.totals.instructions)
+                .sum();
+            let wall = sweep_started.elapsed().as_secs_f64();
+            if wall > 0.0 {
+                ops.minstr_per_sec = ops.instructions as f64 / wall / 1e6;
+            }
+            ops
+        };
+        fold_session_ops(&ops);
+
+        let store_stats = store_handle.map(|s| s.stats());
+        if let Some((board, writer)) = board_writer {
+            board.set_rollup(supervisor, store_stats);
+            board.mark_done();
+            writer.finish();
+        }
+
         SweepReport {
             outcomes,
             failed,
@@ -937,7 +1152,8 @@ impl Plan {
             journal,
             threads,
             supervisor,
-            store: store_handle.map(|s| s.stats()),
+            store: store_stats,
+            ops,
         }
     }
 }
@@ -994,6 +1210,10 @@ pub struct SweepReport {
     /// The consulted store's cumulative traffic counters (`None` when
     /// the plan ran without persistence).
     pub store: Option<StoreStats>,
+    /// Terminal operations rollup (cell state counts, fresh-simulation
+    /// instructions, and this sweep's throughput) — the same numbers the
+    /// final live `status.json` snapshot reports.
+    pub ops: OpsSweepStats,
 }
 
 impl SweepReport {
@@ -1020,6 +1240,7 @@ impl SweepReport {
             threads,
             supervisor: _,
             store: _,
+            ops: _,
         } = self;
         PlanOutcomes {
             outcomes,
@@ -1041,6 +1262,15 @@ impl SweepReport {
         if let Some(s) = &self.store {
             s.collect("store", &mut m);
         }
+        self.ops.collect("ops.sweep", &mut m);
+        // Wall-clock distribution of the freshly simulated cells (memo
+        // hits are excluded — they resolve in microseconds and would
+        // drown the signal).
+        let mut wall_ms = Log2Histogram::new();
+        for cell in self.journal.iter().filter(|c| !c.memo_hit) {
+            wall_ms.record(cell.dur_us / 1000);
+        }
+        wall_ms.collect("ops.cell.wall_ms", &mut m);
         m
     }
 

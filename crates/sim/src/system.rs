@@ -32,7 +32,9 @@ use seesaw_trace::{
 use seesaw_workloads::{TraceGenerator, TraceRef};
 
 use crate::core::{Core, L1Flavor, TranslationIntern};
+use crate::status::{ActiveProgress, NoProgress, Progress};
 use crate::uncore::Uncore;
+use seesaw_trace::ops::CellPhase;
 use crate::{
     CoreResult, CpuKind, L1DesignKind, ProbeSource, RunConfig, RunResult, SchedulerHintPolicy,
     SimError,
@@ -494,13 +496,30 @@ impl System {
     /// memory, and [`SimError::Check`] when the differential checker (if
     /// enabled) catches an invariant violation.
     pub fn run(self) -> Result<RunResult, SimError> {
-        // The sink is a generic parameter of the hot loop: the untraced
-        // path monomorphizes with `NullSink` (every emit site compiles to
-        // nothing), the traced path with the bounded ring.
-        if self.config.trace {
-            self.run_with_sink(RingSink::new(TRACE_RING_CAPACITY))
-        } else {
-            self.run_with_sink(NullSink)
+        // The sink and the heartbeat probe are generic parameters of the
+        // hot loop: the untraced path monomorphizes with `NullSink`
+        // (every emit site compiles to nothing) and likewise the
+        // unwatched path with `NoProgress`, so a plain run carries
+        // neither. A supervised cell thread installs its heartbeat via
+        // `status::set_cell_progress` before building the system; picking
+        // it up from the thread-local here keeps `run`'s signature (and
+        // every experiment driver above it) unchanged.
+        match crate::status::current_cell_progress() {
+            Some(cell) => {
+                let progress = ActiveProgress::new(cell);
+                if self.config.trace {
+                    self.run_with_sink(RingSink::new(TRACE_RING_CAPACITY), progress)
+                } else {
+                    self.run_with_sink(NullSink, progress)
+                }
+            }
+            None => {
+                if self.config.trace {
+                    self.run_with_sink(RingSink::new(TRACE_RING_CAPACITY), NoProgress)
+                } else {
+                    self.run_with_sink(NullSink, NoProgress)
+                }
+            }
         }
     }
 
@@ -509,7 +528,11 @@ impl System {
     // into `run` fuses them into one oversized frame and degrades code
     // locality for the (hot) untraced path.
     #[inline(never)]
-    fn run_with_sink<S: Sink>(mut self, mut sink: S) -> Result<RunResult, SimError> {
+    fn run_with_sink<S: Sink, P: Progress>(
+        mut self,
+        mut sink: S,
+        mut progress: P,
+    ) -> Result<RunResult, SimError> {
         let n = self.cores.len();
         // Wall-clock per phase to stderr when SEESAW_PHASE_TIMING=1; the
         // profiling recipe in EXPERIMENTS.md builds on this.
@@ -521,6 +544,21 @@ impl System {
                 phase_clock = std::time::Instant::now();
             }
         };
+        // Ops instrumentation shares `SEESAW_PHASE_TIMING`'s phase
+        // boundaries: the heartbeat publishes the phase for live status,
+        // and a traced run leaves the same boundaries as `phase` marker
+        // events in the stream.
+        if P::ENABLED {
+            progress.set_phase(CellPhase::Prewarm);
+        }
+        if S::ENABLED {
+            sink.emit(
+                0,
+                EventKind::Phase {
+                    phase: CellPhase::Prewarm,
+                },
+            );
+        }
         // Functional pre-warm in two interned stages. The paper measures
         // windows of traces that have been running for billions of
         // instructions, so the L2/LLC contents are in steady state;
@@ -626,6 +664,20 @@ impl System {
         // probes flow between cores, they just go uncharged.
         let mut warm_cpus: Vec<InOrderCpu> = (0..n).map(|_| InOrderCpu::atom()).collect();
         let mut scratch: Vec<Counters> = (0..n).map(|_| Counters::default()).collect();
+        if P::ENABLED {
+            progress.set_phase(CellPhase::Warmup);
+            // Heartbeat fractions are instructions-retired over this
+            // target: both windows, across every core.
+            progress.set_target(n as u64 * (warmup + self.config.instructions));
+        }
+        if S::ENABLED {
+            sink.emit(
+                0,
+                EventKind::Phase {
+                    phase: CellPhase::Warmup,
+                },
+            );
+        }
         if let Err(e) = interleave(
             &self.config,
             self.timing,
@@ -637,11 +689,23 @@ impl System {
             false,
             &mut scratch,
             &mut NullSink,
+            &mut progress,
         ) {
             return Err(self.attach_repro(e, &sink));
         }
 
         phase_mark("warmup");
+        if P::ENABLED {
+            progress.set_phase(CellPhase::Measure);
+        }
+        if S::ENABLED {
+            sink.emit(
+                0,
+                EventKind::Phase {
+                    phase: CellPhase::Measure,
+                },
+            );
+        }
         // Snapshot per-core counters at the start of the measured window.
         struct CoreBefore {
             l1: CacheStats,
@@ -687,6 +751,7 @@ impl System {
                     true,
                     &mut counters,
                     &mut sink,
+                    &mut progress,
                 ) {
                     return Err(self.attach_repro(e, &sink));
                 }
@@ -705,6 +770,7 @@ impl System {
                     true,
                     &mut counters,
                     &mut sink,
+                    &mut progress,
                 ) {
                     return Err(self.attach_repro(e, &sink));
                 }
@@ -977,7 +1043,7 @@ struct Schedule {
 /// instantiations into the caller bloats it past the instruction cache.
 #[allow(clippy::too_many_arguments)]
 #[inline(never)]
-fn interleave<C: CpuModel, S: Sink>(
+fn interleave<C: CpuModel, S: Sink, P: Progress>(
     config: &RunConfig,
     timing: L1Timing,
     serializes_translation: bool,
@@ -988,6 +1054,7 @@ fn interleave<C: CpuModel, S: Sink>(
     measure: bool,
     counters: &mut [Counters],
     sink: &mut S,
+    progress: &mut P,
 ) -> Result<(), SimError> {
     let miss_squash = OooCpu::sandybridge().miss_squash_cycles();
     let is_ooo = config.cpu == CpuKind::OutOfOrder;
@@ -1276,6 +1343,9 @@ fn interleave<C: CpuModel, S: Sink>(
 
                 cpu.retire(tref.gap, latency, squash_cycles);
                 st.executed += tref.gap + 1;
+                if P::ENABLED {
+                    progress.add(tref.gap + 1);
+                }
 
                 // Synthetic coherence probes that arrived during this window
                 // (the cores = 1 fallback; absent when the directory below
@@ -1393,6 +1463,9 @@ fn interleave<C: CpuModel, S: Sink>(
     }
     for (core, st) in cores.iter_mut().zip(&sched) {
         core.elapsed += st.executed;
+    }
+    if P::ENABLED {
+        progress.flush();
     }
     Ok(())
 }

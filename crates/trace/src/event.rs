@@ -1,6 +1,7 @@
 //! Typed, compact simulation events.
 
 use crate::metrics::{Collect, MetricsRegistry};
+use crate::ops::CellPhase;
 
 /// Which level of the translation machinery served a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,12 +99,19 @@ pub enum EventKind {
         /// The fault kind (stable name from `FaultKind`).
         kind: &'static str,
     },
+    /// A run phase began (build / prewarm / warmup / measure) — the
+    /// same boundaries `SEESAW_PHASE_TIMING=1` times, emitted so traced
+    /// runs and live status consumers see where a cell is.
+    Phase {
+        /// The phase that is starting.
+        phase: CellPhase,
+    },
 }
 
 impl EventKind {
     /// Every event-type name the JSONL exporter can produce, for
     /// validators.
-    pub const NAMES: [&'static str; 14] = [
+    pub const NAMES: [&'static str; 15] = [
         "tlb_lookup",
         "walk_end",
         "tft_lookup",
@@ -118,6 +126,7 @@ impl EventKind {
         "coherence_probe",
         "violation",
         "fault",
+        "phase",
     ];
 
     /// Stable snake_case name of this event type.
@@ -137,6 +146,7 @@ impl EventKind {
             EventKind::CoherenceProbe { .. } => "coherence_probe",
             EventKind::Violation { .. } => "violation",
             EventKind::Fault { .. } => "fault",
+            EventKind::Phase { .. } => "phase",
         }
     }
 }
@@ -195,6 +205,9 @@ impl Event {
             EventKind::Violation { kind } | EventKind::Fault { kind } => {
                 s.push_str(&format!(",\"kind\":\"{kind}\""));
             }
+            EventKind::Phase { phase } => {
+                s.push_str(&format!(",\"phase\":\"{}\"", phase.label()));
+            }
         }
         s.push('}');
         s
@@ -246,6 +259,8 @@ pub struct EventCounts {
     pub violations: u64,
     /// Injected faults fired.
     pub faults: u64,
+    /// Phase boundaries crossed.
+    pub phase_marks: u64,
 }
 
 impl EventCounts {
@@ -283,6 +298,7 @@ impl EventCounts {
             EventKind::CoherenceProbe { .. } => self.coherence_probes += 1,
             EventKind::Violation { .. } => self.violations += 1,
             EventKind::Fault { .. } => self.faults += 1,
+            EventKind::Phase { .. } => self.phase_marks += 1,
         }
     }
 
@@ -308,6 +324,7 @@ impl EventCounts {
             coherence_probes,
             violations,
             faults,
+            phase_marks,
         } = *self;
         tlb_l1_hits
             + tlb_l2_hits
@@ -327,6 +344,7 @@ impl EventCounts {
             + coherence_probes
             + violations
             + faults
+            + phase_marks
     }
 }
 
@@ -354,6 +372,7 @@ impl Collect for EventCounts {
             coherence_probes,
             violations,
             faults,
+            phase_marks,
         } = *self;
         out.set_u64(&format!("{prefix}.tlb_l1_hits"), tlb_l1_hits);
         out.set_u64(&format!("{prefix}.tlb_l2_hits"), tlb_l2_hits);
@@ -374,6 +393,7 @@ impl Collect for EventCounts {
         out.set_u64(&format!("{prefix}.coherence_probes"), coherence_probes);
         out.set_u64(&format!("{prefix}.violations"), violations);
         out.set_u64(&format!("{prefix}.faults"), faults);
+        out.set_u64(&format!("{prefix}.phase_marks"), phase_marks);
     }
 }
 
@@ -409,6 +429,9 @@ mod tests {
             },
             EventKind::Violation { kind: "x" },
             EventKind::Fault { kind: "y" },
+            EventKind::Phase {
+                phase: CellPhase::Warmup,
+            },
         ];
         for kind in kinds {
             assert!(

@@ -106,6 +106,41 @@ impl Log2Histogram {
         u64::MAX
     }
 
+    /// Interpolated q-th quantile, `q` in `[0, 1]` (0.0 when empty).
+    ///
+    /// Where [`Log2Histogram::percentile`] reports the containing
+    /// bucket's upper edge (exact but up to 2× pessimistic), this
+    /// interpolates linearly *within* the log2 bucket: with `n`
+    /// observations in the bucket spanning `lo..=hi` and the target rank
+    /// landing `f` of the way through them, the estimate is
+    /// `lo + (hi - lo)·f`. Summary lines (`*.p50/p95/p99` registry keys,
+    /// CSV export) use this form so latency regressions move smoothly
+    /// instead of jumping a whole power of two.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).clamp(1.0, self.count as f64);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += n;
+            if seen as f64 >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = (1u64 << (i - 1)) as f64;
+                let hi = ((1u128 << i) - 1) as f64;
+                let frac = (rank - before) / n as f64;
+                return lo + (hi - lo) * frac;
+            }
+        }
+        0.0
+    }
+
     /// Per-bucket counts, index `k` covering `2^(k-1)..=2^k - 1`
     /// (index 0 covers only the value 0).
     pub fn buckets(&self) -> &[u64; BUCKETS] {
@@ -140,9 +175,9 @@ impl Collect for Log2Histogram {
         out.set_u64(&format!("{prefix}.count"), count);
         out.set_u64(&format!("{prefix}.sum"), sum);
         out.set_f64(&format!("{prefix}.mean"), self.mean());
-        out.set_u64(&format!("{prefix}.p50"), self.percentile(0.50));
-        out.set_u64(&format!("{prefix}.p95"), self.percentile(0.95));
-        out.set_u64(&format!("{prefix}.p99"), self.percentile(0.99));
+        out.set_f64(&format!("{prefix}.p50"), self.quantile(0.50));
+        out.set_f64(&format!("{prefix}.p95"), self.quantile(0.95));
+        out.set_f64(&format!("{prefix}.p99"), self.quantile(0.99));
     }
 }
 
@@ -205,7 +240,36 @@ mod tests {
         h.collect("walk", &mut m);
         assert_eq!(m.get_u64("walk.count"), Some(1));
         assert_eq!(m.get_u64("walk.sum"), Some(16));
-        assert_eq!(m.get_u64("walk.p50"), Some(31));
+        // One sample in bucket 16..=31 interpolates to the bucket top.
+        assert_eq!(m.get_f64("walk.p50"), Some(31.0));
         assert_eq!(m.get_f64("walk.mean"), Some(16.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // Empty → 0.
+        assert_eq!(Log2Histogram::new().quantile(0.5), 0.0);
+        // All zeros land exactly on 0.
+        let mut z = Log2Histogram::new();
+        z.record(0);
+        z.record(0);
+        assert_eq!(z.quantile(0.99), 0.0);
+        // 99 samples in bucket 8..=15, one in 512..=1023: the p50 sits
+        // mid-bucket instead of snapping to the edge, and stays strictly
+        // inside the bucket's range.
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1000);
+        let p50 = h.quantile(0.50);
+        assert!((8.0..=15.0).contains(&p50), "p50 = {p50}");
+        assert!(p50 < 15.0, "p50 should interpolate below the edge");
+        // p100 reaches into the tail bucket.
+        let p100 = h.quantile(1.0);
+        assert!((512.0..=1023.0).contains(&p100), "p100 = {p100}");
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.25) <= h.quantile(0.75));
+        assert!(h.quantile(0.75) <= h.quantile(1.0));
     }
 }

@@ -26,9 +26,15 @@
 //!   counter can silently fall out of reports.
 //! * [`Log2Histogram`] — fixed-size power-of-two latency histograms for
 //!   walk latency, miss penalty, and runner cell wall clock.
+//! * [`ops`] — the live sweep-operations vocabulary: cell lifecycle
+//!   states, run phases, the lock-free [`CellProgress`] heartbeat a
+//!   running simulation publishes through, and `ops.sweep.*` rollup
+//!   gauges.
 //! * Exporters — [`jsonl`] event streams (with a validating reader),
-//!   [`ChromeTrace`] JSON loadable in `chrome://tracing` / Perfetto, and
-//!   a tiny [`Csv`] writer for windowed time series.
+//!   [`ChromeTrace`] JSON loadable in `chrome://tracing` / Perfetto, a
+//!   tiny [`Csv`] writer for windowed time series, and a [`prometheus`]
+//!   text-exposition renderer (registry gauges + native log2-bucket
+//!   histograms) with its own format validator.
 //!
 //! # Example
 //!
@@ -57,6 +63,8 @@ mod hist;
 pub mod json;
 pub mod jsonl;
 mod metrics;
+pub mod ops;
+pub mod prometheus;
 mod sink;
 
 pub use chrome::ChromeTrace;
@@ -64,4 +72,6 @@ pub use csv::Csv;
 pub use event::{Event, EventCounts, EventKind, TranslationLevel};
 pub use hist::Log2Histogram;
 pub use metrics::{Collect, MetricValue, MetricsRegistry};
+pub use ops::{CellPhase, CellProgress, CellState, OpsSweepStats};
+pub use prometheus::Prometheus;
 pub use sink::{NullSink, RingSink, Sink, TraceData};

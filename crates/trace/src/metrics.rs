@@ -103,6 +103,23 @@ impl MetricsRegistry {
             .filter(move |k| k.starts_with(prefix) && k.as_bytes().get(prefix.len()) == Some(&b'.'))
     }
 
+    /// Renders the registry as a two-column `key,value` CSV (sorted by
+    /// key, counters exact, floats with six decimals) — the grep-able
+    /// companion to [`MetricsRegistry::to_json`], so summary lines like
+    /// `tlb.walk_latency.p95` can be diffed across runs without a JSON
+    /// parser.
+    pub fn to_csv(&self) -> String {
+        let mut csv = crate::csv::Csv::new(&["key", "value"]);
+        for (k, v) in self.values.iter() {
+            let rendered = match v {
+                MetricValue::U64(n) => n.to_string(),
+                MetricValue::F64(n) => format!("{n:.6}"),
+            };
+            csv.row(&[k.clone(), rendered]);
+        }
+        csv.render()
+    }
+
     /// Renders the registry as one sorted flat JSON object.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{");
@@ -152,6 +169,14 @@ mod tests {
         let keys: Vec<_> = m.keys().collect();
         assert_eq!(keys, vec!["a.rate", "b.count", "c.bad"]);
         assert_eq!(m.to_json(), "{\"a.rate\":0.500000,\"b.count\":3,\"c.bad\":0.000000}");
+    }
+
+    #[test]
+    fn csv_export_is_sorted_and_typed() {
+        let mut m = MetricsRegistry::new();
+        m.set_u64("b.count", 3);
+        m.set_f64("a.rate", 0.5);
+        assert_eq!(m.to_csv(), "key,value\na.rate,0.500000\nb.count,3\n");
     }
 
     #[test]

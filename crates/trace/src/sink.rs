@@ -228,6 +228,9 @@ impl TraceData {
                 EventKind::Fault { kind } => {
                     t.instant("fault", "check", pid, tid, e.at, &[("kind", kind)]);
                 }
+                EventKind::Phase { phase } => {
+                    t.instant("phase", "ops", pid, tid, e.at, &[("phase", phase.label())]);
+                }
                 EventKind::TlbLookup { .. }
                 | EventKind::TftLookup { .. }
                 | EventKind::TftFill

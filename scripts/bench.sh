@@ -4,7 +4,8 @@
 # binary reported, and the simulated-instruction throughput
 # (`sim_minstr_per_sec` = budget x memo_misses / wall seconds / 1e6 —
 # memo misses are exactly the cells that were freshly simulated; memo
-# and store hits cost no simulation). A `suite` entry aggregates the
+# and store hits cost no simulation; a figure served entirely from
+# cache has no rate and records `null`). A `suite` entry aggregates the
 # whole run. This populates the perf trajectory the runner work targets
 # (ISSUE 2, ISSUE 7); re-run after engine changes and commit the result.
 #
@@ -24,7 +25,10 @@
 # Regression gate: when the out-file already exists (the committed
 # trajectory), each binary's fresh wall-clock is diffed against it and
 # any cell more than 15% slower than a baseline of at least 0.5 s fails
-# the script — so engine speed never silently regresses. Set
+# the script — so engine speed never silently regresses. On failure the
+# bench_diff binary diffs the old and new snapshots and attributes each
+# regression (more fresh cells vs. slower simulation vs. harness
+# overhead), so the verdict arrives with a cause. Set
 # SEESAW_BENCH_GATE=off to record a new trajectory without gating
 # (e.g. on a different machine).
 set -euo pipefail
@@ -46,6 +50,7 @@ trace_enabled=$([ -n "${SEESAW_TRACE:-}" ] && echo true || echo false)
 tmp="$(mktemp)"
 baseline="$(mktemp)"
 regressions="$(mktemp)"
+old_snapshot="$(mktemp)"
 
 # One store for the whole suite, so cells shared across figures simulate
 # once. A caller-provided SEESAW_STORE is honored (and kept); otherwise
@@ -53,10 +58,10 @@ regressions="$(mktemp)"
 # bench.sh runs honest (every invocation re-simulates from scratch).
 if [ -n "${SEESAW_STORE:-}" ]; then
   store_dir="$SEESAW_STORE"
-  trap 'rm -f "$tmp" "$baseline" "$regressions"' EXIT
+  trap 'rm -f "$tmp" "$baseline" "$regressions" "$old_snapshot"' EXIT
 else
   store_dir="$(mktemp -d)"
-  trap 'rm -f "$tmp" "$baseline" "$regressions"; rm -rf "$store_dir"' EXIT
+  trap 'rm -f "$tmp" "$baseline" "$regressions" "$old_snapshot"; rm -rf "$store_dir"' EXIT
 fi
 export SEESAW_STORE="$store_dir"
 
@@ -64,6 +69,7 @@ export SEESAW_STORE="$store_dir"
 # "<bin> <wall_seconds>", scraped from the existing out-file.
 gate="${SEESAW_BENCH_GATE:-on}"
 if [ -f "$out" ] && [ "$gate" != "off" ]; then
+  cp "$out" "$old_snapshot"
   grep -o '"[a-z0-9]*": { "wall_seconds": [0-9.]*' "$out" \
     | sed 's/"\([a-z0-9]*\)": { "wall_seconds": \([0-9.]*\)/\1 \2/' \
     > "$baseline" || true
@@ -100,9 +106,16 @@ suite_store_hits=0
     store_hits="${store_hits:-0}"
     # Fresh simulation throughput: only memo misses actually ran the
     # simulator (memo and store hits are cache loads), and each ran
-    # `budget` measured instructions.
-    mips=$(awk -v b="$budget" -v m="$misses" -v w="$secs" \
-      'BEGIN { printf "%.3f", (w > 0) ? b * m / w / 1e6 : 0 }')
+    # `budget` measured instructions. A figure with zero misses ran
+    # entirely from cache — there is no simulation rate to report, so
+    # it records null (a 0.000 there used to read as "infinitely slow"
+    # in cross-run diffs).
+    if [ "$misses" -gt 0 ]; then
+      mips=$(awk -v b="$budget" -v m="$misses" -v w="$secs" \
+        'BEGIN { printf "%.3f", (w > 0) ? b * m / w / 1e6 : 0 }')
+    else
+      mips=null
+    fi
     suite_wall=$(awk -v a="$suite_wall" -v b="$secs" 'BEGIN { printf "%.3f", a + b }')
     suite_hits=$((suite_hits + hits))
     suite_misses=$((suite_misses + misses))
@@ -143,6 +156,11 @@ awk -v w="$suite_wall" -v h="$suite_hits" -v m="$suite_misses" \
 if [ -s "$regressions" ]; then
   echo "error: wall-clock regressions (>15% vs committed ${out}):" >&2
   cat "$regressions" >&2
+  # The explanatory half of the gate: attribute each regression to more
+  # fresh cells, slower simulation, or harness overhead.
+  if [ -s "$old_snapshot" ] && [ -x ./target/release/bench_diff ]; then
+    ./target/release/bench_diff "$old_snapshot" "$out" >&2 || true
+  fi
   echo "(investigate, or re-baseline with SEESAW_BENCH_GATE=off)" >&2
   exit 1
 fi

@@ -46,6 +46,15 @@ SEESAW_THREADS=4 ./target/release/chaos_smoke inject
 echo "==> kill-and-resume smoke: SIGKILL mid-sweep, corrupt a record, resume bit-identical"
 ./target/release/chaos_smoke crash-resume
 
+echo "==> status smoke (4 workers): live status.json during a sweep, Prometheus textfile validated"
+status_dir="$(mktemp -d)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$repro_dir" "$status_dir" "$trace_dir"' EXIT
+SEESAW_THREADS=4 SEESAW_STATUS="$status_dir" SEESAW_TRACE="$trace_dir" \
+  ./target/release/fig15 60000
+./target/release/seesaw-status "$status_dir" --assert-done
+./target/release/seesaw-status --check-prom "$trace_dir/fig15.prom"
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
