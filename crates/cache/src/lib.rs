@@ -35,6 +35,7 @@ mod prefetch;
 mod replacement;
 mod set_assoc;
 mod stats;
+mod utag;
 mod waypred;
 
 pub use config::{CacheConfig, IndexPolicy};
@@ -44,4 +45,5 @@ pub use prefetch::{PrefetchStats, StreamPrefetcher};
 pub use replacement::LruTracker;
 pub use set_assoc::{AccessResult, EvictedLine, ResidentLine, SetAssocCache, WayMask};
 pub use stats::CacheStats;
-pub use waypred::MruWayPredictor;
+pub use utag::MicroTagPredictor;
+pub use waypred::{MruWayPredictor, WayPredictionStats};

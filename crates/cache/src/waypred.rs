@@ -74,6 +74,65 @@ impl MruWayPredictor {
     pub fn counts(&self) -> (u64, u64, u64) {
         (self.hits, self.mispredictions, self.cold)
     }
+
+    /// The counters as a [`WayPredictionStats`] snapshot.
+    pub fn stats(&self) -> WayPredictionStats {
+        WayPredictionStats {
+            hits: self.hits,
+            mispredictions: self.mispredictions,
+            cold: self.cold,
+            alias_mispredicts: 0,
+        }
+    }
+}
+
+/// Way-predictor counters in exportable form, shared by every predictor
+/// flavor ([`MruWayPredictor`], [`crate::MicroTagPredictor`]); collected
+/// into the metrics registry as `l1.waypred.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WayPredictionStats {
+    /// Predictions that named the way that actually hit.
+    pub hits: u64,
+    /// Trained predictions that named the wrong way.
+    pub mispredictions: u64,
+    /// Accesses with no prediction available (untrained context).
+    pub cold: u64,
+    /// Mispredictions caused by a virtual alias (µtag matched, physical
+    /// tag did not) — zero for physically-verified MRU prediction.
+    pub alias_mispredicts: u64,
+}
+
+impl WayPredictionStats {
+    /// Fraction of trained predictions that were correct.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.hits + self.mispredictions;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total predictions issued (trained or cold).
+    pub fn total(&self) -> u64 {
+        self.hits + self.mispredictions + self.cold
+    }
+}
+
+impl seesaw_trace::Collect for WayPredictionStats {
+    fn collect(&self, prefix: &str, out: &mut seesaw_trace::MetricsRegistry) {
+        let WayPredictionStats {
+            hits,
+            mispredictions,
+            cold,
+            alias_mispredicts,
+        } = *self;
+        out.set_u64(&format!("{prefix}.hits"), hits);
+        out.set_u64(&format!("{prefix}.mispredictions"), mispredictions);
+        out.set_u64(&format!("{prefix}.cold"), cold);
+        out.set_u64(&format!("{prefix}.alias_mispredicts"), alias_mispredicts);
+        out.set_f64(&format!("{prefix}.accuracy"), self.accuracy());
+    }
 }
 
 #[cfg(test)]

@@ -287,7 +287,7 @@ fn parse_hex(s: &str) -> Result<u64, BundleError> {
 
 fn fault_json(f: &FaultConfig) -> String {
     format!(
-        "{{\"seed\": \"{}\", \"mean_interval\": {}, \"splinters\": {}, \"promotions\": {}, \"shootdowns\": {}, \"tft_storms\": {}, \"context_switches\": {}, \"mem_pressure\": {}, \"chaos\": {{\"drop_tft_invalidation_on_splinter\": {}, \"drop_promotion_sweep\": {}}}}}",
+        "{{\"seed\": \"{}\", \"mean_interval\": {}, \"splinters\": {}, \"promotions\": {}, \"shootdowns\": {}, \"tft_storms\": {}, \"context_switches\": {}, \"mem_pressure\": {}, \"chaos\": {{\"drop_tft_invalidation_on_splinter\": {}, \"drop_promotion_sweep\": {}, \"skip_way_verification\": {}}}}}",
         hex(f.seed),
         f.mean_interval,
         f.splinters,
@@ -298,6 +298,7 @@ fn fault_json(f: &FaultConfig) -> String {
         f.mem_pressure,
         f.chaos.drop_tft_invalidation_on_splinter,
         f.chaos.drop_promotion_sweep,
+        f.chaos.skip_way_verification,
     )
 }
 
@@ -315,6 +316,8 @@ fn fault_from_json(doc: &Json) -> Result<FaultConfig, BundleError> {
         chaos: ChaosConfig {
             drop_tft_invalidation_on_splinter: bool_field(chaos, "drop_tft_invalidation_on_splinter")?,
             drop_promotion_sweep: bool_field(chaos, "drop_promotion_sweep")?,
+            // Absent in bundles recorded before the knob existed.
+            skip_way_verification: bool_field(chaos, "skip_way_verification").unwrap_or(false),
         },
     })
 }

@@ -120,12 +120,17 @@ pub struct ChaosConfig {
     /// Skip the L1 sweep that must accompany a promotion's frame
     /// migration (leaves stale lines of the freed frames resident).
     pub drop_promotion_sweep: bool,
+    /// Skip the physical-tag verification that must follow a µtag way
+    /// prediction (serves virtual-alias false hits as real hits).
+    pub skip_way_verification: bool,
 }
 
 impl ChaosConfig {
     /// True if any deliberate bug is armed.
     pub fn any(&self) -> bool {
-        self.drop_tft_invalidation_on_splinter || self.drop_promotion_sweep
+        self.drop_tft_invalidation_on_splinter
+            || self.drop_promotion_sweep
+            || self.skip_way_verification
     }
 }
 

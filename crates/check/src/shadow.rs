@@ -43,11 +43,14 @@ pub enum ViolationKind {
     /// A VIVT reverse/forward mapping still references a freed frame, so
     /// coherence probes and writebacks would use a stale physical line.
     StalePhysicalMapping,
+    /// A way predictor declared a hit on a way whose physical tag does not
+    /// match the access — a µtag virtual-alias false hit served as data.
+    WayPredictionAlias,
 }
 
 impl ViolationKind {
     /// Every kind, in a fixed order.
-    pub const ALL: [ViolationKind; 7] = [
+    pub const ALL: [ViolationKind; 8] = [
         ViolationKind::StaleTranslation,
         ViolationKind::TftClaimsBasePage,
         ViolationKind::DataDivergence,
@@ -55,6 +58,7 @@ impl ViolationKind {
         ViolationKind::SweptLineResident,
         ViolationKind::PartitionUnreachable,
         ViolationKind::StalePhysicalMapping,
+        ViolationKind::WayPredictionAlias,
     ];
 
     /// Stable kebab-case name, used by trace events and reports.
@@ -67,6 +71,7 @@ impl ViolationKind {
             ViolationKind::SweptLineResident => "swept-line-resident",
             ViolationKind::PartitionUnreachable => "partition-unreachable",
             ViolationKind::StalePhysicalMapping => "stale-physical-mapping",
+            ViolationKind::WayPredictionAlias => "way-prediction-alias",
         }
     }
 
@@ -93,6 +98,8 @@ pub struct ViolationCounters {
     pub partition_unreachable: u64,
     /// [`ViolationKind::StalePhysicalMapping`] occurrences.
     pub stale_physical_mapping: u64,
+    /// [`ViolationKind::WayPredictionAlias`] occurrences.
+    pub way_prediction_alias: u64,
 }
 
 impl ViolationCounters {
@@ -105,6 +112,7 @@ impl ViolationCounters {
             + self.swept_line_resident
             + self.partition_unreachable
             + self.stale_physical_mapping
+            + self.way_prediction_alias
     }
 
     fn bump(&mut self, kind: ViolationKind) {
@@ -116,6 +124,7 @@ impl ViolationCounters {
             ViolationKind::SweptLineResident => self.swept_line_resident += 1,
             ViolationKind::PartitionUnreachable => self.partition_unreachable += 1,
             ViolationKind::StalePhysicalMapping => self.stale_physical_mapping += 1,
+            ViolationKind::WayPredictionAlias => self.way_prediction_alias += 1,
         }
     }
 }
@@ -130,6 +139,7 @@ impl seesaw_trace::Collect for ViolationCounters {
             swept_line_resident,
             partition_unreachable,
             stale_physical_mapping,
+            way_prediction_alias,
         } = *self;
         out.set_u64(&format!("{prefix}.stale_translation"), stale_translation);
         out.set_u64(
@@ -146,6 +156,10 @@ impl seesaw_trace::Collect for ViolationCounters {
         out.set_u64(
             &format!("{prefix}.stale_physical_mapping"),
             stale_physical_mapping,
+        );
+        out.set_u64(
+            &format!("{prefix}.way_prediction_alias"),
+            way_prediction_alias,
         );
         out.set_u64(&format!("{prefix}.total"), self.total());
     }
@@ -529,6 +543,37 @@ impl ShadowChecker {
         Ok(())
     }
 
+    /// Structural audit of a way-predicted hit: the way the predictor
+    /// selected must hold the physical tag of the access. A µtag predictor
+    /// trained by a virtual alias can steer the lookup to a way holding a
+    /// *different* physical line; serving that as a hit returns another
+    /// address's data. Designs report whether the predicted way's tag
+    /// verified; `tag_verified == false` is the armed-chaos signature.
+    ///
+    /// # Errors
+    /// Returns the [`Violation`] when the predicted way's tag mismatches.
+    pub fn audit_way_prediction(
+        &mut self,
+        instruction: u64,
+        va: u64,
+        predicted_way: usize,
+        tag_verified: bool,
+    ) -> Result<(), Violation> {
+        self.audits += 1;
+        if !tag_verified {
+            return Err(self.violation(
+                ViolationKind::WayPredictionAlias,
+                instruction,
+                format!(
+                    "way predictor served way {predicted_way} for va {va:#x} \
+                     but that way holds a different physical tag \
+                     (virtual-alias false hit)"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
     /// True if the frame containing `pa` was freed by a promotion and not
     /// since remapped.
     pub fn is_freed(&self, pa: u64) -> bool {
@@ -648,6 +693,16 @@ mod tests {
         assert!(c.audit_partitions(16, 1).is_err());
         let total = c.summary().violations.total();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn aliased_way_prediction_is_flagged() {
+        let mut c = ShadowChecker::new();
+        assert!(c.audit_way_prediction(5, 0x1000, 3, true).is_ok());
+        let v = c.audit_way_prediction(6, 0x1000, 3, false).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::WayPredictionAlias);
+        assert_eq!(c.summary().violations.way_prediction_alias, 1);
+        assert_eq!(ViolationKind::from_name("way-prediction-alias"), Some(v.kind));
     }
 
     #[test]

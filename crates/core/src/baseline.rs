@@ -3,10 +3,11 @@
 
 use seesaw_cache::{
     CacheConfig, CacheStats, IndexPolicy, MoesiState, MruWayPredictor, SetAssocCache, WayMask,
+    WayPredictionStats,
 };
 use seesaw_mem::PhysAddr;
 
-use crate::{L1AccessOutcome, L1DataCache, L1Request, L1Timing, LookupCase};
+use crate::{FlexibleIndex, L1AccessOutcome, L1DataCache, L1Request, L1Timing, LookupCase};
 
 /// A conventional L1: full-set lookups at the slow hit time. VIPT indexes
 /// with the virtual address in parallel with the TLB; PIPT must wait for
@@ -38,11 +39,7 @@ pub struct BaselineL1 {
     waypred: Option<MruWayPredictor>,
     /// Cached geometry so the per-access path never re-derives it.
     full: WayMask,
-    sets: usize,
-    set_shift: u32,
-    /// `sets - 1` when the set count is a power of two, else zero.
-    set_mask: usize,
-    indexes_virtually: bool,
+    index: FlexibleIndex,
 }
 
 impl BaselineL1 {
@@ -54,10 +51,11 @@ impl BaselineL1 {
             cache: SetAssocCache::new(config),
             waypred: way_prediction.then(|| MruWayPredictor::new(sets, 1)),
             full: WayMask::all(config.ways),
-            sets,
-            set_shift: config.offset_bits(),
-            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
-            indexes_virtually: config.indexing.indexes_with_virtual_address(),
+            index: FlexibleIndex::new(
+                sets,
+                config.line_bytes,
+                config.indexing.indexes_with_virtual_address(),
+            ),
             config,
             timing,
         }
@@ -65,12 +63,7 @@ impl BaselineL1 {
 
     #[inline]
     fn set_of_addr(&self, addr: u64) -> usize {
-        let idx = (addr >> self.set_shift) as usize;
-        if self.set_mask != 0 {
-            idx & self.set_mask
-        } else {
-            idx % self.sets
-        }
+        self.index.set_of_raw(addr)
     }
 
     /// True if the design must wait for address translation before it can
@@ -84,6 +77,11 @@ impl BaselineL1 {
         self.waypred.as_ref().map(|wp| wp.accuracy())
     }
 
+    /// Way-predictor counters, if one is attached (`l1.waypred.*`).
+    pub fn way_prediction_stats(&self) -> Option<WayPredictionStats> {
+        self.waypred.as_ref().map(|wp| wp.stats())
+    }
+
     fn ptag(&self, pa: PhysAddr) -> u64 {
         self.config.line_of(pa)
     }
@@ -91,7 +89,7 @@ impl BaselineL1 {
 
 impl L1DataCache for BaselineL1 {
     fn access(&mut self, req: &L1Request) -> L1AccessOutcome {
-        let set = self.set_of_addr(if self.indexes_virtually {
+        let set = self.set_of_addr(if self.index.virtual_index {
             req.va.raw()
         } else {
             req.pa.raw()
@@ -146,6 +144,7 @@ impl L1DataCache for BaselineL1 {
             evicted,
             fast_assumption_held: true,
             way_prediction_correct,
+            unverified_alias_way: None,
         }
     }
 

@@ -2,14 +2,14 @@
 
 use seesaw_cache::{
     CacheConfig, CacheStats, IndexPolicy, MoesiState, MruWayPredictor, ResidentLine,
-    SetAssocCache, WayMask,
+    SetAssocCache, WayMask, WayPredictionStats,
 };
 use seesaw_mem::{PageSize, PageTableOp, PhysAddr, VirtAddr};
 use seesaw_trace::{Collect, MetricsRegistry};
 
 use crate::{
     InsertionPolicy, L1AccessOutcome, L1DataCache, L1Request, L1Timing, LookupCase,
-    PartitionDecoder, TftStats, TranslationFilterTable,
+    PartitionDecoder, SeesawPartitioning, TftStats, TranslationFilterTable, VirtualIndex,
 };
 
 /// Configuration of a SEESAW L1.
@@ -176,23 +176,18 @@ impl Collect for SeesawStats {
     }
 }
 
-/// One row of the precomputed lookup-selection table: everything the
-/// TFT verdict and page size decide about a lookup, resolved to a single
-/// indexed load instead of a branch tree.
-#[derive(Debug, Clone, Copy)]
-struct LookupSelect {
-    mask: WayMask,
-    latency: u64,
-    case: LookupCase,
-    fast_held: bool,
-}
-
 /// The SEESAW L1 data cache.
 ///
 /// See the crate-level example for typical use. Drive [`SeesawL1::tft_fill`]
 /// from the TLB hierarchy's superpage-fill events and
 /// [`SeesawL1::handle_op`] from page-table operations; call
 /// [`SeesawL1::context_switch`] when the core switches address spaces.
+///
+/// Composed from the policy layer (the `policy` module): virtual set
+/// indexing ([`VirtualIndex`]), the precomputed Table I plan tables
+/// ([`SeesawPartitioning`]), and optional MRU way prediction — all held
+/// concretely so the hot path compiles to the same indexed loads as the
+/// pre-refactor monolith.
 #[derive(Debug, Clone)]
 pub struct SeesawL1 {
     config: SeesawConfig,
@@ -201,19 +196,9 @@ pub struct SeesawL1 {
     decoder: PartitionDecoder,
     waypred: Option<MruWayPredictor>,
     stats: SeesawStats,
-    /// Lookup selection keyed by
-    /// `((tft_hit << 1) | is_superpage) × partitions + va_partition`.
-    select: Vec<LookupSelect>,
-    /// Victim masks keyed by `is_superpage × partitions + pa_partition`.
-    victim_masks: Vec<WayMask>,
-    /// Coherence masks per PA partition: the narrow partition mask under
-    /// a partition-deterministic insertion policy, the full mask otherwise.
-    coh_masks: Vec<WayMask>,
-    partitions: usize,
-    /// Byte-offset bits below the set index.
-    set_shift: u32,
-    /// `sets - 1` (the VIPT set count is always a power of two).
-    set_mask: usize,
+    /// Precomputed branch-free plan/victim/coherence tables.
+    policy: SeesawPartitioning,
+    index: VirtualIndex,
     full_mask: WayMask,
 }
 
@@ -230,61 +215,17 @@ impl SeesawL1 {
         let waypred = config
             .way_prediction
             .then(|| MruWayPredictor::new(sets, config.partitions));
-        let partitions = config.partitions;
-        let full_mask = decoder.full_mask();
-        let mut select = Vec::with_capacity(4 * partitions);
-        for key in 0..4usize {
-            let tft_hit = key & 0b10 != 0;
-            let is_superpage = key & 0b01 != 0;
-            for p in 0..partitions {
-                select.push(if tft_hit {
-                    // Partition lookup only (Table I rows 1-2); the case is
-                    // refined to a miss variant after the probe.
-                    LookupSelect {
-                        mask: decoder.mask_of(p),
-                        latency: timing.fast_cycles,
-                        case: LookupCase::SuperTftHitCacheHit,
-                        fast_held: true,
-                    }
-                } else {
-                    // Conservative full-set lookup (Table I rows 3-4).
-                    LookupSelect {
-                        mask: full_mask,
-                        latency: timing.slow_cycles,
-                        case: if is_superpage {
-                            LookupCase::SuperTftMiss
-                        } else {
-                            LookupCase::BasePage
-                        },
-                        fast_held: false,
-                    }
-                });
-            }
-        }
-        let mut victim_masks = Vec::with_capacity(2 * partitions);
-        for is_superpage in [false, true] {
-            for p in 0..partitions {
-                victim_masks.push(config.insertion.victim_mask(&decoder, p, is_superpage));
-            }
-        }
-        let narrow = config.insertion.lines_are_partition_deterministic();
-        let coh_masks = (0..partitions)
-            .map(|p| if narrow { decoder.mask_of(p) } else { full_mask })
-            .collect();
+        let policy = SeesawPartitioning::new(&decoder, config.insertion, timing);
         Self {
             cache: SetAssocCache::new(config.cache),
             tft: TranslationFilterTable::new(config.tft_entries),
+            full_mask: decoder.full_mask(),
             decoder,
             waypred,
-            config,
             stats: SeesawStats::default(),
-            select,
-            victim_masks,
-            coh_masks,
-            partitions,
-            set_shift: config.cache.offset_bits(),
-            set_mask: sets - 1,
-            full_mask,
+            policy,
+            index: VirtualIndex::new(sets, config.cache.line_bytes),
+            config,
         }
     }
 
@@ -371,6 +312,16 @@ impl SeesawL1 {
         self.waypred.as_ref().map(|wp| wp.accuracy())
     }
 
+    /// Way-predictor counters, if one is attached (`l1.waypred.*`).
+    pub fn way_prediction_stats(&self) -> Option<WayPredictionStats> {
+        self.waypred.as_ref().map(|wp| wp.stats())
+    }
+
+    /// The precomputed partition-policy tables (lab/audit surface).
+    pub fn partitioning(&self) -> &SeesawPartitioning {
+        &self.policy
+    }
+
     /// Asks the TFT whether it vouches for `va`, without counting the
     /// probe as a demand lookup. Audit hook for the differential checker's
     /// splinter-precision invariant (§IV-C2).
@@ -412,7 +363,7 @@ impl SeesawL1 {
     /// True if the line holding `pa` is resident, checked side-effect
     /// free (no LRU, no coherence transition, no counters).
     pub fn peek_pa(&self, pa: PhysAddr) -> bool {
-        let set = ((pa.raw() >> self.set_shift) as usize) & self.set_mask;
+        let set = self.index.set_of_raw(pa.raw());
         self.cache.peek(set, self.ptag(pa), self.full_mask).is_some()
     }
 
@@ -423,7 +374,7 @@ impl SeesawL1 {
 
 impl L1DataCache for SeesawL1 {
     fn access(&mut self, req: &L1Request) -> L1AccessOutcome {
-        let set = ((req.va.raw() >> self.set_shift) as usize) & self.set_mask;
+        let set = self.index.set_of_raw(req.va.raw());
         let p_va = self.decoder.partition_of_va(req.va);
         let ptag = self.ptag(req.pa);
         // The TFT is kept precise by invalidation/flush, so a hit proves a
@@ -437,7 +388,7 @@ impl L1DataCache for SeesawL1 {
         // Everything the TFT verdict and page size decide — mask, latency,
         // Table I case, fast-path assumption — is one precomputed row.
         let key = ((tft_hit as usize) << 1) | (is_superpage as usize);
-        let sel = self.select[key * self.partitions + p_va];
+        let sel = self.policy.plan_row(key, p_va);
         let lookup_mask = sel.mask;
 
         // Optional way prediction inside the presented mask (§IV-B2).
@@ -485,8 +436,7 @@ impl L1DataCache for SeesawL1 {
                 !is_superpage || p_pa == p_va,
                 "superpage partition bits must match between VA and PA"
             );
-            let victim_mask =
-                self.victim_masks[(is_superpage as usize) * self.partitions + p_pa];
+            let victim_mask = self.policy.victim_row(is_superpage, p_pa);
             evicted = self.cache.fill(set, ptag, victim_mask, req.is_write);
             if let Some(wp) = self.waypred.as_mut() {
                 if let Some(w) = self.cache.resident_way(set, ptag) {
@@ -512,16 +462,17 @@ impl L1DataCache for SeesawL1 {
             evicted,
             fast_assumption_held: sel.fast_held,
             way_prediction_correct,
+            unverified_alias_way: None,
         }
     }
 
     fn coherence_probe(&mut self, pa: PhysAddr, invalidate: bool) -> (bool, usize) {
-        let set = ((pa.raw() >> self.set_shift) as usize) & self.set_mask;
+        let set = self.index.set_of_raw(pa.raw());
         let ptag = self.ptag(pa);
         // The 4way insertion policy pins every line to its physical
         // partition, so every coherence probe is narrow (§IV-C1); the
         // per-partition masks are precomputed either way.
-        let mask = self.coh_masks[self.decoder.partition_of_pa(pa)];
+        let mask = self.policy.coherence_row(self.decoder.partition_of_pa(pa));
         let present = self.cache.coherence_probe(set, ptag, mask, invalidate);
         (present.is_some(), mask.count())
     }

@@ -47,17 +47,26 @@
 mod baseline;
 mod insertion;
 mod l1;
+mod microtag;
 mod partition;
+mod policy;
 mod sched;
 mod tft;
 mod traits;
+mod vespa;
 mod vivt;
 
 pub use baseline::BaselineL1;
 pub use insertion::InsertionPolicy;
 pub use l1::{SeesawConfig, SeesawL1, SeesawStats};
+pub use microtag::{MicroTagConfig, MicroTagL1};
 pub use partition::PartitionDecoder;
+pub use policy::{
+    FlexibleIndex, IndexSelect, LookupPlan, PartitionPolicy, SeesawPartitioning, VespaPartitioning,
+    VirtualIndex, WayPredict,
+};
 pub use sched::{HitTimeAssumption, SchedulerHint};
 pub use tft::{TftStats, TranslationFilterTable};
 pub use traits::{L1AccessOutcome, L1DataCache, L1Request, L1Timing, LookupCase};
+pub use vespa::{VespaConfig, VespaL1, VespaStats};
 pub use vivt::{SynonymStats, VivtL1};

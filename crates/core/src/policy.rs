@@ -1,0 +1,600 @@
+//! Pluggable L1 design policies — the competing-design lab's trait layer.
+//!
+//! Every L1 design in this repo decomposes into three orthogonal choices:
+//!
+//! ```text
+//!             ┌─────────────────┐   which bits index the set,
+//!   VA ──────►│   IndexSelect   │   per page size / translation
+//!             └────────┬────────┘
+//!                      ▼
+//!             ┌─────────────────┐   which ways to probe, at what
+//!   TFT/TLB ─►│ PartitionPolicy │   latency, with what fill/coherence
+//!             └────────┬────────┘   masks (branch-free plan tables)
+//!                      ▼
+//!             ┌─────────────────┐   which single way to try first
+//!   history ─►│    WayPredict   │   (MRU or Zen2-style µtag hash)
+//!             └─────────────────┘
+//! ```
+//!
+//! The concrete designs ([`crate::SeesawL1`], [`crate::VespaL1`],
+//! [`crate::MicroTagL1`], [`crate::BaselineL1`]) compose *concrete*
+//! policy structs so their hot paths stay branch-free and bit-identical
+//! to the pre-refactor code; the traits are the lab surface that pins
+//! the contracts, keeps alternatives interchangeable in tests, and lets
+//! new designs reuse the precomputed-table machinery (PR 7's fast path)
+//! instead of reinventing it.
+
+use seesaw_cache::{MicroTagPredictor, MruWayPredictor, WayMask, WayPredictionStats};
+use seesaw_mem::{PageSize, PhysAddr, VirtAddr};
+
+use crate::{InsertionPolicy, L1Timing, LookupCase, PartitionDecoder};
+
+/// Which address bits name the set for an access.
+///
+/// VIPT designs index with virtual bits (in parallel with translation),
+/// PIPT designs with physical bits (after it). The trait receives both
+/// addresses plus the page size so exotic policies (e.g. size-dependent
+/// indexing) stay expressible.
+pub trait IndexSelect {
+    /// The set index for an access.
+    fn set_of(&self, va: VirtAddr, pa: PhysAddr, page_size: PageSize) -> usize;
+
+    /// True when indexing cannot start before translation completes
+    /// (PIPT): the CPU model serializes TLB latency in that case.
+    fn needs_translation(&self) -> bool {
+        false
+    }
+}
+
+/// Virtual set indexing over a power-of-two set count: the VIPT fast
+/// path every design in the paper builds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualIndex {
+    /// Byte-offset bits below the set index.
+    pub set_shift: u32,
+    /// `sets - 1` (set count must be a power of two).
+    pub set_mask: usize,
+}
+
+impl VirtualIndex {
+    /// Builds the index function for `sets` sets of `line_bytes` lines.
+    ///
+    /// # Panics
+    /// Panics unless both dimensions are powers of two.
+    pub fn new(sets: usize, line_bytes: u64) -> Self {
+        assert!(sets.is_power_of_two() && line_bytes.is_power_of_two());
+        Self {
+            set_shift: line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+        }
+    }
+
+    /// The set index of a raw address (VA on the demand path, PA for
+    /// physically-addressed coherence probes — the bits coincide for
+    /// every geometry whose index fits inside the page offset).
+    #[inline]
+    pub fn set_of_raw(&self, addr: u64) -> usize {
+        ((addr >> self.set_shift) as usize) & self.set_mask
+    }
+}
+
+impl IndexSelect for VirtualIndex {
+    #[inline]
+    fn set_of(&self, va: VirtAddr, _pa: PhysAddr, _page_size: PageSize) -> usize {
+        self.set_of_raw(va.raw())
+    }
+}
+
+/// Va-or-pa set indexing over an arbitrary set count — the baseline
+/// designs' index function (PIPT geometries need not be powers of two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlexibleIndex {
+    /// Total sets.
+    pub sets: usize,
+    /// Byte-offset bits below the set index.
+    pub set_shift: u32,
+    /// `sets - 1` when the set count is a power of two, else zero.
+    pub set_mask: usize,
+    /// True = index with the VA (VIPT), false = with the PA (PIPT).
+    pub virtual_index: bool,
+}
+
+impl FlexibleIndex {
+    /// Builds the index function for `sets` sets of `line_bytes` lines.
+    pub fn new(sets: usize, line_bytes: u64, virtual_index: bool) -> Self {
+        Self {
+            sets,
+            set_shift: line_bytes.trailing_zeros(),
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
+            virtual_index,
+        }
+    }
+
+    /// The set index of a raw address.
+    #[inline]
+    pub fn set_of_raw(&self, addr: u64) -> usize {
+        let idx = (addr >> self.set_shift) as usize;
+        if self.set_mask != 0 {
+            idx & self.set_mask
+        } else {
+            idx % self.sets
+        }
+    }
+}
+
+impl IndexSelect for FlexibleIndex {
+    #[inline]
+    fn set_of(&self, va: VirtAddr, pa: PhysAddr, _page_size: PageSize) -> usize {
+        self.set_of_raw(if self.virtual_index {
+            va.raw()
+        } else {
+            pa.raw()
+        })
+    }
+
+    fn needs_translation(&self) -> bool {
+        !self.virtual_index
+    }
+}
+
+/// One row of a precomputed lookup plan: everything the design's
+/// prediction machinery (TFT verdict, page size) decides about a lookup,
+/// resolved to a single indexed load instead of a branch tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupPlan {
+    /// Ways to probe.
+    pub mask: WayMask,
+    /// Hit latency of this lookup width.
+    pub latency: u64,
+    /// The Table I case this row represents (hit variant; callers refine
+    /// to the miss variant after the probe).
+    pub case: LookupCase,
+    /// Whether the design's speculative "fast hit" assumption holds on
+    /// this row (drives out-of-order squash, §IV-B3).
+    pub fast_held: bool,
+}
+
+/// TFT-driven way-mask selection: which ways a lookup probes, where a
+/// fill may place its victim, and which ways coherence must search.
+///
+/// Implementations precompute their plan rows at construction so the
+/// per-access work is one indexed load (PR 7's branch-free fast path is
+/// part of the contract, not an implementation detail).
+pub trait PartitionPolicy {
+    /// Partition count.
+    fn partitions(&self) -> usize;
+
+    /// The lookup plan for a TFT verdict + page size + VA partition.
+    fn plan(&self, tft_hit: bool, is_superpage: bool, va_partition: usize) -> LookupPlan;
+
+    /// Ways a miss may evict from, per page size and PA partition.
+    fn victim_mask(&self, is_superpage: bool, pa_partition: usize) -> WayMask;
+
+    /// Ways a physically-addressed coherence probe must search.
+    fn coherence_mask(&self, pa_partition: usize) -> WayMask;
+
+    /// Mask of every way.
+    fn full_mask(&self) -> WayMask;
+}
+
+/// SEESAW's partition policy (Table I), precomputed: plan rows keyed by
+/// `((tft_hit << 1) | is_superpage) × partitions + va_partition`, victim
+/// masks by `is_superpage × partitions + pa_partition`, coherence masks
+/// per PA partition (narrow iff the insertion policy pins lines to their
+/// physical partition).
+#[derive(Debug, Clone)]
+pub struct SeesawPartitioning {
+    plans: Vec<LookupPlan>,
+    victim_masks: Vec<WayMask>,
+    coh_masks: Vec<WayMask>,
+    partitions: usize,
+    full: WayMask,
+}
+
+impl SeesawPartitioning {
+    /// Precomputes every row from the decoder, insertion policy, and
+    /// timing (Table I rows 1–4).
+    pub fn new(decoder: &PartitionDecoder, insertion: InsertionPolicy, timing: L1Timing) -> Self {
+        let partitions = decoder.partitions();
+        let full = decoder.full_mask();
+        let mut plans = Vec::with_capacity(4 * partitions);
+        for key in 0..4usize {
+            let tft_hit = key & 0b10 != 0;
+            let is_superpage = key & 0b01 != 0;
+            for p in 0..partitions {
+                plans.push(if tft_hit {
+                    // Partition lookup only (Table I rows 1-2); the case is
+                    // refined to a miss variant after the probe.
+                    LookupPlan {
+                        mask: decoder.mask_of(p),
+                        latency: timing.fast_cycles,
+                        case: LookupCase::SuperTftHitCacheHit,
+                        fast_held: true,
+                    }
+                } else {
+                    // Conservative full-set lookup (Table I rows 3-4).
+                    LookupPlan {
+                        mask: full,
+                        latency: timing.slow_cycles,
+                        case: if is_superpage {
+                            LookupCase::SuperTftMiss
+                        } else {
+                            LookupCase::BasePage
+                        },
+                        fast_held: false,
+                    }
+                });
+            }
+        }
+        let mut victim_masks = Vec::with_capacity(2 * partitions);
+        for is_superpage in [false, true] {
+            for p in 0..partitions {
+                victim_masks.push(insertion.victim_mask(decoder, p, is_superpage));
+            }
+        }
+        let narrow = insertion.lines_are_partition_deterministic();
+        let coh_masks = (0..partitions)
+            .map(|p| if narrow { decoder.mask_of(p) } else { full })
+            .collect();
+        Self {
+            plans,
+            victim_masks,
+            coh_masks,
+            partitions,
+            full,
+        }
+    }
+
+    /// The plan row for a precomputed key (`(tft_hit << 1) | is_super`);
+    /// the hot loop keeps the key arithmetic it had before the refactor.
+    #[inline]
+    pub fn plan_row(&self, key: usize, va_partition: usize) -> LookupPlan {
+        self.plans[key * self.partitions + va_partition]
+    }
+
+    /// The victim mask row (see [`PartitionPolicy::victim_mask`]).
+    #[inline]
+    pub fn victim_row(&self, is_superpage: bool, pa_partition: usize) -> WayMask {
+        self.victim_masks[(is_superpage as usize) * self.partitions + pa_partition]
+    }
+
+    /// The coherence mask for a PA partition.
+    #[inline]
+    pub fn coherence_row(&self, pa_partition: usize) -> WayMask {
+        self.coh_masks[pa_partition]
+    }
+}
+
+impl PartitionPolicy for SeesawPartitioning {
+    fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn plan(&self, tft_hit: bool, is_superpage: bool, va_partition: usize) -> LookupPlan {
+        let key = ((tft_hit as usize) << 1) | (is_superpage as usize);
+        self.plan_row(key, va_partition)
+    }
+
+    fn victim_mask(&self, is_superpage: bool, pa_partition: usize) -> WayMask {
+        self.victim_row(is_superpage, pa_partition)
+    }
+
+    fn coherence_mask(&self, pa_partition: usize) -> WayMask {
+        self.coherence_row(pa_partition)
+    }
+
+    fn full_mask(&self) -> WayMask {
+        self.full
+    }
+}
+
+/// VESPA's partition policy: no TFT — the page size arrives from the TLB
+/// in parallel with the (speculative) narrow probe, so every superpage
+/// access takes the narrow partition lookup at the fast latency and every
+/// base-page access pays the conservative full-set lookup. Plan rows are
+/// keyed by `is_superpage × partitions + va_partition`.
+#[derive(Debug, Clone)]
+pub struct VespaPartitioning {
+    plans: Vec<LookupPlan>,
+    victim_masks: Vec<WayMask>,
+    coh_masks: Vec<WayMask>,
+    partitions: usize,
+    ways_per_partition: usize,
+    full: WayMask,
+}
+
+impl VespaPartitioning {
+    /// Precomputes every row from the decoder, insertion policy, and
+    /// timing.
+    pub fn new(decoder: &PartitionDecoder, insertion: InsertionPolicy, timing: L1Timing) -> Self {
+        let partitions = decoder.partitions();
+        let full = decoder.full_mask();
+        let mut plans = Vec::with_capacity(2 * partitions);
+        for is_superpage in [false, true] {
+            for p in 0..partitions {
+                plans.push(if is_superpage {
+                    // Superpage partition bits are translation-invariant,
+                    // so the narrow probe is *always* correct — VESPA's
+                    // whole point: the SEESAW fast path without a TFT.
+                    LookupPlan {
+                        mask: decoder.mask_of(p),
+                        latency: timing.fast_cycles,
+                        case: LookupCase::SuperTftHitCacheHit,
+                        fast_held: true,
+                    }
+                } else {
+                    LookupPlan {
+                        mask: full,
+                        latency: timing.slow_cycles,
+                        case: LookupCase::BasePage,
+                        fast_held: true,
+                    }
+                });
+            }
+        }
+        let mut victim_masks = Vec::with_capacity(2 * partitions);
+        for is_superpage in [false, true] {
+            for p in 0..partitions {
+                victim_masks.push(insertion.victim_mask(decoder, p, is_superpage));
+            }
+        }
+        let narrow = insertion.lines_are_partition_deterministic();
+        let coh_masks = (0..partitions)
+            .map(|p| if narrow { decoder.mask_of(p) } else { full })
+            .collect();
+        Self {
+            plans,
+            victim_masks,
+            coh_masks,
+            partitions,
+            ways_per_partition: decoder.ways_per_partition(),
+            full,
+        }
+    }
+
+    /// The plan row for a page size + VA partition.
+    #[inline]
+    pub fn plan_row(&self, is_superpage: bool, va_partition: usize) -> LookupPlan {
+        self.plans[(is_superpage as usize) * self.partitions + va_partition]
+    }
+
+    /// The victim mask row.
+    #[inline]
+    pub fn victim_row(&self, is_superpage: bool, pa_partition: usize) -> WayMask {
+        self.victim_masks[(is_superpage as usize) * self.partitions + pa_partition]
+    }
+
+    /// The coherence mask for a PA partition.
+    #[inline]
+    pub fn coherence_row(&self, pa_partition: usize) -> WayMask {
+        self.coh_masks[pa_partition]
+    }
+
+    /// Width of the speculative narrow probe a base-page access wastes
+    /// (it launches in parallel with the TLB and is discarded when the
+    /// translation says base page).
+    #[inline]
+    pub fn ways_per_partition(&self) -> usize {
+        self.ways_per_partition
+    }
+}
+
+impl PartitionPolicy for VespaPartitioning {
+    fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn plan(&self, _tft_hit: bool, is_superpage: bool, va_partition: usize) -> LookupPlan {
+        self.plan_row(is_superpage, va_partition)
+    }
+
+    fn victim_mask(&self, is_superpage: bool, pa_partition: usize) -> WayMask {
+        self.victim_row(is_superpage, pa_partition)
+    }
+
+    fn coherence_mask(&self, pa_partition: usize) -> WayMask {
+        self.coherence_row(pa_partition)
+    }
+
+    fn full_mask(&self) -> WayMask {
+        self.full
+    }
+}
+
+/// Way prediction: which single way to probe first.
+///
+/// Two families implement this. MRU prediction
+/// ([`seesaw_cache::MruWayPredictor`]) keys on `(set, partition)` and is
+/// physically verified by construction; µtag prediction
+/// ([`seesaw_cache::MicroTagPredictor`]) keys on a hash of the virtual
+/// tag and can be steered wrong by a virtual alias — the predicted way's
+/// physical tag MUST be verified before the hit is served (the checker's
+/// way-prediction-alias invariant).
+pub trait WayPredict {
+    /// The way to probe first, or `None` (no prediction available).
+    fn predict(&self, set: usize, partition: usize, vtag: u64) -> Option<usize>;
+
+    /// Trains the predictor with the way that actually held the line.
+    fn train(&mut self, set: usize, partition: usize, vtag: u64, way: usize);
+
+    /// Reports a prediction round's outcome for predictors that count
+    /// separately from training (µtag). `tag_verified` is false when the
+    /// predicted way's physical tag mismatched (a virtual alias).
+    fn note_outcome(&mut self, predicted: Option<usize>, actual: Option<usize>, tag_verified: bool) {
+        let _ = (predicted, actual, tag_verified);
+    }
+
+    /// Drops all prediction state (address-space switch).
+    fn flush(&mut self) {}
+
+    /// Counter snapshot, exported as `l1.waypred.*`.
+    fn stats(&self) -> WayPredictionStats;
+}
+
+impl WayPredict for MruWayPredictor {
+    #[inline]
+    fn predict(&self, set: usize, partition: usize, _vtag: u64) -> Option<usize> {
+        self.predict(set, partition)
+    }
+
+    #[inline]
+    fn train(&mut self, set: usize, partition: usize, _vtag: u64, way: usize) {
+        self.update(set, partition, way);
+    }
+
+    // MRU predictions are verified against the physical tag on every
+    // probe and re-trained from the true way, so a context switch only
+    // costs accuracy, never correctness: no flush needed.
+
+    fn stats(&self) -> WayPredictionStats {
+        self.stats()
+    }
+}
+
+impl WayPredict for MicroTagPredictor {
+    #[inline]
+    fn predict(&self, set: usize, _partition: usize, vtag: u64) -> Option<usize> {
+        self.predict(set, vtag)
+    }
+
+    #[inline]
+    fn train(&mut self, set: usize, _partition: usize, vtag: u64, way: usize) {
+        self.train(set, way, vtag);
+    }
+
+    fn note_outcome(&mut self, predicted: Option<usize>, actual: Option<usize>, tag_verified: bool) {
+        self.record(predicted, actual, tag_verified);
+    }
+
+    fn flush(&mut self) {
+        self.flush();
+    }
+
+    fn stats(&self) -> WayPredictionStats {
+        let (hits, mispredictions, cold) = self.counts();
+        WayPredictionStats {
+            hits,
+            mispredictions,
+            cold,
+            alias_mispredicts: self.alias_mispredicts(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_cache::CacheConfig;
+    use seesaw_cache::IndexPolicy;
+
+    fn decoder() -> PartitionDecoder {
+        PartitionDecoder::new(64, 8, 64, 2)
+    }
+
+    fn timing() -> L1Timing {
+        L1Timing {
+            fast_cycles: 1,
+            slow_cycles: 2,
+        }
+    }
+
+    #[test]
+    fn virtual_index_matches_manual_arithmetic() {
+        let cfg = CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
+        let idx = VirtualIndex::new(cfg.sets(), cfg.line_bytes);
+        let va = VirtAddr::new(0x4000_1040);
+        assert_eq!(
+            idx.set_of(va, PhysAddr::new(0), PageSize::Base4K),
+            ((0x4000_1040u64 >> 6) & 63) as usize
+        );
+        assert!(!idx.needs_translation());
+    }
+
+    #[test]
+    fn flexible_index_picks_the_right_address() {
+        let vipt = FlexibleIndex::new(64, 64, true);
+        let pipt = FlexibleIndex::new(128, 64, false);
+        let va = VirtAddr::new(0x1040);
+        let pa = PhysAddr::new(0x2040);
+        assert_eq!(vipt.set_of(va, pa, PageSize::Base4K), 0x41 & 63);
+        assert_eq!(pipt.set_of(va, pa, PageSize::Base4K), 0x81 & 127);
+        assert!(pipt.needs_translation());
+    }
+
+    #[test]
+    fn seesaw_plans_match_table_i() {
+        let pol = SeesawPartitioning::new(&decoder(), InsertionPolicy::FourWay, timing());
+        // Row 1-2: TFT hit → narrow + fast, speculation holds.
+        let fast = pol.plan(true, true, 1);
+        assert_eq!(fast.mask.count(), 4);
+        assert_eq!(fast.latency, 1);
+        assert!(fast.fast_held);
+        // Row 3: TFT miss on a superpage → full + slow.
+        let miss = pol.plan(false, true, 1);
+        assert_eq!(miss.mask.count(), 8);
+        assert_eq!(miss.case, LookupCase::SuperTftMiss);
+        // Row 4: base page → full + slow.
+        assert_eq!(pol.plan(false, false, 0).case, LookupCase::BasePage);
+        // 4way insertion keeps coherence narrow.
+        assert_eq!(pol.coherence_mask(1).count(), 4);
+        assert_eq!(pol.victim_mask(false, 1).count(), 4);
+    }
+
+    #[test]
+    fn vespa_plans_ignore_the_tft() {
+        let pol = VespaPartitioning::new(&decoder(), InsertionPolicy::FourWay, timing());
+        for tft_hit in [false, true] {
+            let sup = pol.plan(tft_hit, true, 1);
+            assert_eq!(sup.mask.count(), 4, "superpage is always narrow");
+            assert_eq!(sup.latency, 1);
+            assert!(sup.fast_held);
+            let base = pol.plan(tft_hit, false, 1);
+            assert_eq!(base.mask.count(), 8);
+            assert!(base.fast_held, "TLB confirms in parallel: no squash");
+        }
+        assert_eq!(pol.ways_per_partition(), 4);
+    }
+
+    #[test]
+    fn policies_are_interchangeable_as_trait_objects() {
+        let seesaw = SeesawPartitioning::new(&decoder(), InsertionPolicy::FourWay, timing());
+        let vespa = VespaPartitioning::new(&decoder(), InsertionPolicy::FourWay, timing());
+        let policies: [&dyn PartitionPolicy; 2] = [&seesaw, &vespa];
+        for pol in policies {
+            assert_eq!(pol.partitions(), 2);
+            assert_eq!(pol.full_mask().count(), 8);
+            // The dyn path returns exactly the precomputed rows.
+            for p in 0..2 {
+                assert!(pol.plan(true, true, p).mask.contains(p * 4));
+            }
+        }
+    }
+
+    #[test]
+    fn way_predictors_are_interchangeable() {
+        let mut mru = MruWayPredictor::new(8, 1);
+        let mut utag = MicroTagPredictor::new(8, 4);
+        {
+            let preds: [&mut dyn WayPredict; 2] = [&mut mru, &mut utag];
+            for p in preds {
+                assert_eq!(p.predict(3, 0, 0xabc), None);
+                p.train(3, 0, 0xabc, 2);
+                assert_eq!(p.predict(3, 0, 0xabc), Some(2));
+                p.note_outcome(Some(2), Some(2), true);
+                // MRU counts outcomes at train time (note_outcome is a
+                // no-op for it); the µtag counts them in note_outcome and
+                // treats the retrain as idempotent. Either way: one hit.
+                p.train(3, 0, 0xabc, 2);
+            }
+        }
+        // µtag flushes on context switch; MRU (physically verified)
+        // survives.
+        WayPredict::flush(&mut utag);
+        assert_eq!(WayPredict::predict(&utag, 3, 0, 0xabc), None);
+        WayPredict::flush(&mut mru);
+        assert_eq!(WayPredict::predict(&mru, 3, 0, 0xabc), Some(2));
+        // Both export the shared stats shape.
+        assert_eq!(WayPredict::stats(&mru).hits, 1);
+        assert_eq!(WayPredict::stats(&utag).hits, 1);
+    }
+}

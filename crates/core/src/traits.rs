@@ -71,6 +71,13 @@ pub struct L1AccessOutcome {
     pub fast_assumption_held: bool,
     /// Way-predictor verdict, if one is attached: `Some(true)` = correct.
     pub way_prediction_correct: Option<bool>,
+    /// A µtag way prediction matched a way whose physical tag was never
+    /// verified before the hit was served (chaos knob
+    /// `skip_way_verification`): the way that was wrongly served. Always
+    /// `None` in correct operation — verification turns aliases into
+    /// mispredicts — so the checker flags any `Some` as a
+    /// way-prediction-alias violation.
+    pub unverified_alias_way: Option<usize>,
 }
 
 /// The interface every L1 design implements.

@@ -254,6 +254,7 @@ impl L1DataCache for VivtL1 {
             evicted: evicted_line,
             fast_assumption_held: true,
             way_prediction_correct: None,
+            unverified_alias_way: None,
         }
     }
 

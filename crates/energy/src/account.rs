@@ -111,7 +111,19 @@ impl EnergyAccount {
     }
 
     /// A CPU-side L1 lookup probing `ways_probed` ways.
-    pub fn cpu_lookup(&mut self, ways_probed: usize) {
+    ///
+    /// `ways_probed` may exceed the cache's associativity when one
+    /// access takes several probe rounds — a µtag alias pays a discarded
+    /// single-way probe plus a full-set round, and VESPA base-page
+    /// accesses pay the full set plus the wasted narrow probe. Each
+    /// full-associativity chunk is charged as its own round.
+    pub fn cpu_lookup(&mut self, mut ways_probed: usize) {
+        while ways_probed > self.l1_ways {
+            self.acc.l1_cpu_nj +=
+                self.model
+                    .l1_lookup_nj(self.l1_size_kb, self.l1_ways, self.l1_ways);
+            ways_probed -= self.l1_ways;
+        }
         self.acc.l1_cpu_nj += self
             .model
             .l1_lookup_nj(self.l1_size_kb, self.l1_ways, ways_probed);

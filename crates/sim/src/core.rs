@@ -10,9 +10,10 @@
 
 use std::sync::Arc;
 
+use seesaw_cache::WayPredictionStats;
 use seesaw_check::{FaultInjector, ShadowChecker};
 use seesaw_coherence::CoherenceTraffic;
-use seesaw_core::{BaselineL1, L1DataCache, SchedulerHint, SeesawL1, VivtL1};
+use seesaw_core::{BaselineL1, L1DataCache, MicroTagL1, SchedulerHint, SeesawL1, VespaL1, VivtL1};
 use seesaw_mem::{AddressSpace, PhysAddr, Translation, VirtAddr};
 use seesaw_tlb::TlbHierarchy;
 use seesaw_workloads::{TraceGenerator, TraceRef};
@@ -23,6 +24,8 @@ pub(crate) enum L1Flavor {
     Baseline(BaselineL1),
     Seesaw(Box<SeesawL1>),
     Vivt(Box<VivtL1>),
+    Vespa(Box<VespaL1>),
+    MicroTag(Box<MicroTagL1>),
 }
 
 impl L1Flavor {
@@ -31,6 +34,8 @@ impl L1Flavor {
             L1Flavor::Baseline(l1) => l1,
             L1Flavor::Seesaw(l1) => l1.as_mut(),
             L1Flavor::Vivt(l1) => l1.as_mut(),
+            L1Flavor::Vespa(l1) => l1.as_mut(),
+            L1Flavor::MicroTag(l1) => l1.as_mut(),
         }
     }
 
@@ -43,6 +48,18 @@ impl L1Flavor {
 
     pub(crate) fn is_vivt(&self) -> bool {
         matches!(self, L1Flavor::Vivt(_))
+    }
+
+    /// Way-predictor counters of whichever predictor the design carries
+    /// (MRU for baseline/SEESAW `*WithWayPrediction`, the µtag for
+    /// [`L1Flavor::MicroTag`]); `None` when the design has none.
+    pub(crate) fn way_prediction_stats(&self) -> Option<WayPredictionStats> {
+        match self {
+            L1Flavor::Baseline(l1) => l1.way_prediction_stats(),
+            L1Flavor::Seesaw(l1) => l1.way_prediction_stats(),
+            L1Flavor::MicroTag(l1) => Some(l1.way_prediction_stats()),
+            L1Flavor::Vivt(_) | L1Flavor::Vespa(_) => None,
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 //! paper-vs-measured comparison.
 
 mod ablations;
+mod designs;
 mod fig2;
 mod fig3;
 mod fig7;
@@ -23,6 +24,9 @@ mod tables;
 pub use ablations::{
     ablation_table, area_control, asid_flush_ablation, insertion_ablation, prefetch_ablation,
     snoopy_ablation, AblationRow,
+};
+pub use designs::{
+    all_design_kinds, design_fingerprint, designs, designs_table, DesignRow, DESIGN_LAB,
 };
 pub use fig2::{fig2a, fig2a_table, fig2b, fig2bc_table, fig2c, Fig2aRow, Fig2bRow};
 pub use fig3::{fig3, fig3_table, Fig3Row, FIG3_MEMHOG};

@@ -295,6 +295,8 @@ pub(crate) fn config_kv(config: &RunConfig) -> Vec<(String, String)> {
         L1DesignKind::SeesawWithWayPrediction => "seesaw-wp".to_string(),
         L1DesignKind::Pipt { ways } => format!("pipt:{ways}"),
         L1DesignKind::Vivt { ways } => format!("vivt:{ways}"),
+        L1DesignKind::Vespa => "vespa".to_string(),
+        L1DesignKind::BaselineMicroTag => "baseline-utag".to_string(),
     };
     vec![
         ("workload".to_string(), workload.name.to_string()),
@@ -434,6 +436,8 @@ pub(crate) fn config_from_kv(kv: &[(String, String)]) -> Result<RunConfig, Repro
         "baseline-wp" => L1DesignKind::BaselineWithWayPrediction,
         "seesaw" => L1DesignKind::Seesaw,
         "seesaw-wp" => L1DesignKind::SeesawWithWayPrediction,
+        "vespa" => L1DesignKind::Vespa,
+        "baseline-utag" => L1DesignKind::BaselineMicroTag,
         other => match other.split_once(':') {
             Some(("pipt", ways)) => L1DesignKind::Pipt {
                 ways: parse_usize("design", ways)?,

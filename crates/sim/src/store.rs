@@ -789,6 +789,7 @@ fn enc_checker(e: &mut Enc, p: &str, c: &CheckerSummary) {
         swept_line_resident,
         partition_unreachable,
         stale_physical_mapping,
+        way_prediction_alias,
     } = violations;
     e.u(&format!("{p}.v.stale_translation"), stale_translation);
     e.u(&format!("{p}.v.tft_claims_base_page"), tft_claims_base_page);
@@ -797,6 +798,7 @@ fn enc_checker(e: &mut Enc, p: &str, c: &CheckerSummary) {
     e.u(&format!("{p}.v.swept_line_resident"), swept_line_resident);
     e.u(&format!("{p}.v.partition_unreachable"), partition_unreachable);
     e.u(&format!("{p}.v.stale_physical_mapping"), stale_physical_mapping);
+    e.u(&format!("{p}.v.way_prediction_alias"), way_prediction_alias);
 }
 
 fn dec_checker(d: &Dec, p: &str) -> Result<CheckerSummary, DecErr> {
@@ -812,6 +814,10 @@ fn dec_checker(d: &Dec, p: &str) -> Result<CheckerSummary, DecErr> {
             swept_line_resident: d.u(&format!("{p}.v.swept_line_resident"))?,
             partition_unreachable: d.u(&format!("{p}.v.partition_unreachable"))?,
             stale_physical_mapping: d.u(&format!("{p}.v.stale_physical_mapping"))?,
+            // Absent from records persisted before the way-prediction
+            // invariant existed; treat those as zero rather than refusing
+            // to resume the sweep.
+            way_prediction_alias: d.u(&format!("{p}.v.way_prediction_alias")).unwrap_or(0),
         },
     })
 }

@@ -1,42 +1,35 @@
-//! Full-system assembly: N cores (TLBs + L1 design + workload stream)
-//! round-robin interleaved against one uncore (OS + outer hierarchy +
-//! coherence + energy), driven by the CPU timing models.
+//! The run/step path of a full system: N cores (TLBs + L1 design +
+//! workload stream) round-robin interleaved against one uncore (OS +
+//! outer hierarchy + coherence + energy), driven by the CPU timing
+//! models. Construction — design wiring, memory images, interned build
+//! artifacts — lives in the private `build` module.
 
-use seesaw_cache::{
-    CacheConfig, CacheStats, IndexPolicy, MemoryLevel, OuterHierarchy, OuterHierarchyConfig,
-};
+use seesaw_cache::{CacheStats, MemoryLevel, WayPredictionStats};
 use seesaw_check::{
-    AccessCheck, CheckEvent, CheckerSummary, FaultConfig, FaultInjector, FaultKind,
-    InjectionStats, ShadowChecker, ViolationCounters,
+    AccessCheck, CheckEvent, CheckerSummary, FaultKind, InjectionStats, ViolationCounters,
 };
-use seesaw_coherence::{
-    CoherenceMode, CoherenceTraffic, CoherenceTrafficConfig, DirectoryController,
-};
-use seesaw_core::{
-    BaselineL1, HitTimeAssumption, L1Request, L1Timing, SchedulerHint, SeesawConfig, SeesawL1,
-    SeesawStats, TftStats, VivtL1,
-};
+use seesaw_core::{HitTimeAssumption, L1Request, L1Timing, SeesawStats, TftStats, VespaStats};
 use seesaw_cpu::{CpuModel, InOrderCpu, OooCpu, RunTotals};
-use seesaw_energy::{EnergyAccount, EnergyModel, SramModel};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
 
 use seesaw_mem::{
-    AddressSpace, MemError, Memhog, MemhogConfig, PageSize, PageTableOp, PhysAddr, PhysicalMemory,
-    ThpPolicy, VirtAddr, Vma,
+    AddressSpace, MemError, Memhog, MemhogConfig, PageSize, PageTableOp, PhysAddr, VirtAddr,
 };
-use seesaw_tlb::{TlbHierarchy, TlbHierarchyConfig, TlbLevel, TlbStats, WalkerStats};
+use seesaw_tlb::{TlbLevel, TlbStats, WalkerStats};
 use seesaw_trace::{
     Collect, EventKind, Log2Histogram, MetricsRegistry, NullSink, RingSink, Sink, TranslationLevel,
 };
-use seesaw_workloads::{TraceGenerator, TraceRef};
+use seesaw_workloads::TraceRef;
 
-use crate::core::{Core, L1Flavor, TranslationIntern};
+use crate::build::{
+    memory_image_key, stream_cache, warm_outer_cache, StreamArtifact, STREAM_CACHE_CAP,
+    WARM_OUTER_CAP,
+};
+use crate::core::{Core, L1Flavor};
 use crate::status::{ActiveProgress, NoProgress, Progress};
 use crate::uncore::Uncore;
 use seesaw_trace::ops::CellPhase;
 use crate::{
-    CoreResult, CpuKind, L1DesignKind, ProbeSource, RunConfig, RunResult, SchedulerHintPolicy,
+    CoreResult, CpuKind, RunConfig, RunResult, SchedulerHintPolicy,
     SimError,
 };
 
@@ -44,17 +37,17 @@ use crate::{
 /// mirror counts every event regardless, so reconciliation survives wrap).
 const TRACE_RING_CAPACITY: usize = 1 << 18;
 
-/// Weyl increment: decorrelates per-core seeds while leaving core 0 on
-/// the run's base seed, so `cores = 1` replays the single-core stream
-/// bit-for-bit.
-const CORE_SEED_STRIDE: u64 = 0x9e37_79b9_7f4a_7c15;
-
 /// Per-core per-window event counters.
 #[derive(Debug, Default)]
 struct Counters {
     super_refs: u64,
     total_refs: u64,
     coherence_probes: u64,
+    /// Load-to-use cycles summed over L1 hits, with [`Counters::hits`]
+    /// the divisor — the measured average hit latency the design-lab
+    /// head-to-head reports (`l1.avg_hit_latency_cycles`).
+    hit_cycles: u64,
+    hits: u64,
     samples: Vec<crate::Sample>,
     miss_penalty: Log2Histogram,
 }
@@ -117,370 +110,19 @@ impl SampleWindow {
     }
 }
 
-/// One L1 instance plus the timing facts the run loop needs about it.
-struct L1Build {
-    l1: L1Flavor,
-    timing: L1Timing,
-    total_ways: usize,
-    serializes: bool,
-    /// Ways one coherence probe reads in this design (SEESAW probes a
-    /// single partition, §IV-C1; everything else reads the full set).
-    probe_ways: usize,
-}
-
-/// Builds one L1 instance of the configured design.
-fn build_l1(config: &RunConfig, sram: &SramModel) -> L1Build {
-    let ghz = config.frequency.ghz();
-    let size_kb = config.l1_size_kb;
-    let baseline_ways = config.baseline_ways();
-    match config.design {
-        L1DesignKind::BaselineVipt | L1DesignKind::BaselineWithWayPrediction => {
-            let slow = sram.full_lookup_cycles(size_kb, baseline_ways, ghz);
-            let timing = L1Timing {
-                fast_cycles: slow,
-                slow_cycles: slow,
-            };
-            let cache = CacheConfig::new(size_kb << 10, baseline_ways, 64, IndexPolicy::Vipt);
-            let wp = config.design == L1DesignKind::BaselineWithWayPrediction;
-            L1Build {
-                l1: L1Flavor::Baseline(BaselineL1::new(cache, timing, wp)),
-                timing,
-                total_ways: baseline_ways,
-                serializes: false,
-                probe_ways: baseline_ways,
-            }
-        }
-        L1DesignKind::Seesaw | L1DesignKind::SeesawWithWayPrediction => {
-            let mut seesaw_cfg = SeesawConfig::with_size_kb(size_kb)
-                .with_tft_entries(config.tft_entries)
-                .with_insertion(config.insertion);
-            if let Some(partitions) = config.seesaw_partitions {
-                seesaw_cfg = seesaw_cfg.with_partitions(partitions);
-            }
-            if config.design == L1DesignKind::SeesawWithWayPrediction {
-                seesaw_cfg = seesaw_cfg.with_way_prediction();
-            }
-            let timing = L1Timing {
-                fast_cycles: sram.partition_lookup_cycles(
-                    size_kb,
-                    baseline_ways,
-                    seesaw_cfg.partitions,
-                    ghz,
-                ),
-                slow_cycles: sram.full_lookup_cycles(size_kb, baseline_ways, ghz),
-            };
-            let probe_ways = (baseline_ways / seesaw_cfg.partitions).max(1);
-            L1Build {
-                l1: L1Flavor::Seesaw(Box::new(SeesawL1::new(seesaw_cfg, timing))),
-                timing,
-                total_ways: baseline_ways,
-                serializes: false,
-                probe_ways,
-            }
-        }
-        L1DesignKind::Pipt { ways } => {
-            let slow = sram.full_lookup_cycles(size_kb, ways, ghz);
-            let timing = L1Timing {
-                fast_cycles: slow,
-                slow_cycles: slow,
-            };
-            let cache = CacheConfig::new(size_kb << 10, ways, 64, IndexPolicy::Pipt);
-            L1Build {
-                l1: L1Flavor::Baseline(BaselineL1::new(cache, timing, false)),
-                timing,
-                total_ways: ways,
-                serializes: true,
-                probe_ways: ways,
-            }
-        }
-        L1DesignKind::Vivt { ways } => {
-            let fast = sram.full_lookup_cycles(size_kb, ways, ghz);
-            let timing = L1Timing {
-                fast_cycles: fast,
-                // The slow path is a synonym remap: two probe rounds.
-                slow_cycles: fast * 2,
-            };
-            L1Build {
-                l1: L1Flavor::Vivt(Box::new(VivtL1::new(size_kb << 10, ways, timing))),
-                timing,
-                total_ways: ways,
-                serializes: false,
-                probe_ways: ways,
-            }
-        }
-    }
-}
-
 /// A fully assembled system, ready to run one workload.
 ///
-/// See the crate-level example for typical use.
+/// Constructed by [`System::build`] (which lives in the private
+/// `build` module); see the crate-level example for typical use.
 pub struct System {
-    config: RunConfig,
-    timing: L1Timing,
-    serializes_translation: bool,
-    cores: Vec<Core>,
-    uncore: Uncore,
-}
-
-/// The memory half of a built system: fragmented physical memory, the
-/// populated address space, and the workload VMA. Everything here is a
-/// pure function of `(workload, seed, memhog_percent)`, while a figure
-/// grid re-derives it for every L1 size × frequency × design cell — so
-/// built images are interned process-wide and cells start from a clone.
-/// Determinism makes the clone sound: it is bit-for-bit the state a
-/// fresh build would produce.
-#[derive(Clone)]
-struct MemoryImage {
-    pmem: PhysicalMemory,
-    space: AddressSpace,
-    vma: Vma,
-}
-
-/// Cache key covering every input of [`build_memory_image`]: the full
-/// workload spec (every mixture parameter participates via `Debug`,
-/// mirroring the runner's config fingerprints), the seed, and the
-/// memhog pressure.
-fn memory_image_key(config: &RunConfig) -> String {
-    format!(
-        "{:?}|{}|{}",
-        config.workload, config.seed, config.memhog_percent
-    )
-}
-
-/// Entry caps for the process-wide artifact caches. Eviction is a full
-/// clear — crude, but any eviction policy is correct (entries are pure
-/// functions of their keys) and sweeps revisit at most a catalog of
-/// workloads times a handful of frequencies before moving on.
-const MEMORY_IMAGE_CAP: usize = 32;
-const STREAM_CACHE_CAP: usize = 32;
-const WARM_OUTER_CAP: usize = 24;
-
-fn memory_images() -> &'static Mutex<HashMap<String, MemoryImage>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, MemoryImage>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-/// A recorded reference stream: the packed references plus the
-/// generator state advanced past them, so a run that hits skips every
-/// RNG draw and `ln()` of stream synthesis and still continues the
-/// stream seamlessly if it ever outruns the recording.
-#[derive(Clone)]
-struct StreamArtifact {
-    refs: Arc<[u64]>,
-    generator: TraceGenerator,
-}
-
-fn stream_cache() -> &'static Mutex<HashMap<String, StreamArtifact>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, StreamArtifact>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-/// Prewarmed outer hierarchies (L2 + LLC + prefetcher state after the
-/// functional prewarm), keyed by everything the prewarm traffic depends
-/// on: the memory image (translations), core count, reference count,
-/// frequency (outer timing config), and prefetch degree. L1 geometry
-/// and design are deliberately absent — prewarm bypasses the L1, which
-/// is what makes one warmed image servable to every design cell of a
-/// figure row.
-fn warm_outer_cache() -> &'static Mutex<HashMap<String, OuterHierarchy>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, OuterHierarchy>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-/// Interned [`build_memory_image`]: clones a cached image when one
-/// matches, builds and caches otherwise. Build failures propagate
-/// uncached (they would recur identically, but they also carry context
-/// a caller wants fresh).
-fn memory_image(config: &RunConfig) -> Result<MemoryImage, SimError> {
-    let key = memory_image_key(config);
-    if let Some(img) = memory_images().lock().expect("memory image lock").get(&key) {
-        return Ok(img.clone());
-    }
-    let img = build_memory_image(config)?;
-    let mut cache = memory_images().lock().expect("memory image lock");
-    if cache.len() >= MEMORY_IMAGE_CAP {
-        cache.clear();
-    }
-    cache.insert(key, img.clone());
-    Ok(img)
-}
-
-/// Builds the memory half of a system: physical memory fragmented by a
-/// light system-noise allocator plus the configured memhog, then the
-/// workload's footprint populated through the THP policy — so superpage
-/// coverage emerges from the OS model, as on the paper's long-uptime
-/// servers (§III-C, §V).
-fn build_memory_image(config: &RunConfig) -> Result<MemoryImage, SimError> {
-    let footprint = config.workload.footprint_bytes();
-    // Physical memory is provisioned at 4x the footprint (min 128 MB):
-    // like the paper's loaded servers, the workload is a substantial
-    // fraction of memory, so memhog pressure actually bites.
-    let pmem_bytes = (footprint * 4).max(128 << 20);
-    let mut pmem = PhysicalMemory::new(pmem_bytes);
-
-    // Long-uptime system noise: a thin layer of scattered allocations,
-    // some pinned (kernel/network stack), always present.
-    let mut noise = Memhog::new(MemhogConfig {
-        fraction: 0.04,
-        unmovable_fraction: 0.10,
-        churn_factor: 0.1,
-        seed: config.seed ^ 0x1105e,
-    });
-    noise.run(&mut pmem);
-
-    // The co-running memhog at the configured pressure, clamped so the
-    // workload's footprint still fits (the paper's real system would
-    // swap; we don't model swap).
-    let requested = f64::from(config.memhog_percent.min(95)) / 100.0;
-    let max_fraction =
-        (pmem.free_bytes() as f64 - 1.3 * footprint as f64) / pmem.total_bytes() as f64;
-    let mut hog = Memhog::new(MemhogConfig {
-        fraction: requested.min(max_fraction.max(0.0)),
-        seed: config.seed ^ 0x109,
-        ..MemhogConfig::default()
-    });
-    hog.run(&mut pmem);
-
-    // Populate the workload's heap through transparent huge pages.
-    let mut space = AddressSpace::new(1);
-    let vma = space
-        .mmap_anonymous(&mut pmem, footprint, ThpPolicy::Always)
-        .map_err(|source| SimError::Mem {
-            context: "populating the workload footprint",
-            source,
-        })?;
-    // Compaction during population may have migrated hog-owned blocks.
-    let relocations = space.drain_foreign_relocations();
-    hog.absorb_relocations(&relocations);
-    noise.absorb_relocations(&relocations);
-    space.drain_ops(); // initial mappings carry no stale state
-
-    Ok(MemoryImage { pmem, space, vma })
+    pub(crate) config: RunConfig,
+    pub(crate) timing: L1Timing,
+    pub(crate) serializes_translation: bool,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) uncore: Uncore,
 }
 
 impl System {
-    /// Builds the system: physical memory is fragmented by a light
-    /// system-noise allocator plus the configured memhog before the
-    /// workload's footprint is populated through the THP policy — so
-    /// superpage coverage emerges from the OS model, as on the paper's
-    /// long-uptime servers (§III-C, §V).
-    ///
-    /// With [`RunConfig::cores`] > 1, N identical cores are built, each
-    /// with its own TLBs, L1, and independently-seeded workload stream
-    /// (all threads of one process: the address space is shared), and —
-    /// under [`ProbeSource::Coherence`] — a functional MOESI directory
-    /// (or snoopy bus, per [`RunConfig::snoopy`]) generates every
-    /// coherence probe from real peer misses and upgrades.
-    ///
-    /// # Errors
-    /// Returns [`SimError::Mem`] if physical memory cannot back the
-    /// workload's footprint even with base pages (the THP path already
-    /// degrades superpage failures to 4 KB fallback, counted in
-    /// [`RunResult::demotions`]).
-    pub fn build(config: &RunConfig) -> Result<System, SimError> {
-        let MemoryImage { pmem, space, vma } = memory_image(config)?;
-        let sram = SramModel::tsmc28_scaled_22nm();
-        let n = config.cores.max(1);
-        let mut cores = Vec::with_capacity(n);
-        let mut timing = L1Timing {
-            fast_cycles: 0,
-            slow_cycles: 0,
-        };
-        let mut total_ways = 0;
-        let mut serializes = false;
-        let mut probe_ways = 1;
-        for id in 0..n {
-            let built = build_l1(config, &sram);
-            timing = built.timing;
-            total_ways = built.total_ways;
-            serializes = built.serializes;
-            probe_ways = built.probe_ways;
-            // Each core streams its own workload instance, decorrelated
-            // by a Weyl stride; core 0 keeps the run's base seed so the
-            // single-core stream is unchanged by the refactor.
-            let lane = (id as u64).wrapping_mul(CORE_SEED_STRIDE);
-            // Synthetic probe stream only when no directory generates the
-            // real thing; snoopy protocols broadcast, multiplying
-            // delivered probes (§VI-B).
-            let traffic = (config.probe_source == ProbeSource::Synthetic).then(|| {
-                let snoop_factor = if config.snoopy { 3.0 } else { 1.0 };
-                CoherenceTraffic::new(CoherenceTrafficConfig {
-                    probes_per_kilo_instruction: config.workload.coherence_pki * snoop_factor,
-                    invalidate_fraction: 0.3,
-                    targeted_fraction: 0.6,
-                    seed: config.seed ^ 0xc0c0 ^ lane,
-                })
-            });
-            cores.push(Core {
-                id,
-                tlbs: TlbHierarchy::new(Self::tlb_config(config)),
-                l1: built.l1,
-                generator: TraceGenerator::new(&config.workload, config.seed ^ lane),
-                hint: SchedulerHint::default(),
-                traffic,
-                checker: config.checker.then(ShadowChecker::new),
-                injector: config.faults.map(|f| {
-                    let per_core = FaultConfig {
-                        seed: f.seed ^ lane,
-                        ..f
-                    };
-                    // An explicit schedule for this core (shrinker replay)
-                    // supersedes the seeded stream; missing entries keep it.
-                    match config
-                        .fault_schedules
-                        .as_ref()
-                        .and_then(|s| s.get(id))
-                    {
-                        Some(schedule) => FaultInjector::replay(per_core, schedule.clone()),
-                        None => FaultInjector::new(per_core),
-                    }
-                }),
-                elapsed: 0,
-                xlate: TranslationIntern::new(vma.base().raw(), vma.bytes()),
-                replay: Arc::from(Vec::new()),
-                replay_cursor: 0,
-            });
-        }
-
-        // The real coherence substrate: a functional model of every
-        // core's L1 tag state under MOESI, sized like the timing L1s,
-        // probing one partition per delivery for SEESAW designs.
-        let coherence = (config.probe_source == ProbeSource::Coherence).then(|| {
-            let geometry =
-                CacheConfig::new(config.l1_size_kb << 10, total_ways, 64, IndexPolicy::Vipt);
-            let mode = if config.snoopy {
-                CoherenceMode::Snoopy
-            } else {
-                CoherenceMode::Directory
-            };
-            DirectoryController::new(n, geometry, mode, probe_ways)
-        });
-
-        let outer_cfg = OuterHierarchyConfig::table_ii(config.frequency.ghz());
-        let outer = match config.prefetch_degree {
-            Some(degree) => OuterHierarchy::with_prefetcher(outer_cfg, degree),
-            None => OuterHierarchy::new(outer_cfg),
-        };
-        let account = EnergyAccount::new(EnergyModel::new(sram), config.l1_size_kb, total_ways);
-
-        Ok(System {
-            config: config.clone(),
-            timing,
-            serializes_translation: serializes,
-            cores,
-            uncore: Uncore {
-                pmem,
-                space,
-                vma,
-                outer,
-                account,
-                coherence,
-                pressure_hogs: Vec::new(),
-                run_demotions: 0,
-            },
-        })
-    }
-
     /// Runs the configured instruction budget and reports the results.
     ///
     /// The run has two phases: a warmup (default: a third of the budget,
@@ -714,6 +356,8 @@ impl System {
             walk_hist: Log2Histogram,
             seesaw: SeesawStats,
             tft: TftStats,
+            vespa: VespaStats,
+            waypred: Option<WayPredictionStats>,
         }
         let before: Vec<CoreBefore> = self
             .cores
@@ -723,6 +367,10 @@ impl System {
                     L1Flavor::Seesaw(l) => (l.seesaw_stats(), l.tft_stats()),
                     _ => (SeesawStats::default(), TftStats::default()),
                 };
+                let vespa = match &core.l1 {
+                    L1Flavor::Vespa(v) => v.vespa_stats(),
+                    _ => VespaStats::default(),
+                };
                 CoreBefore {
                     l1: core.l1.as_dyn().cache_stats(),
                     tlb: core.tlbs.l1_stats(),
@@ -730,6 +378,8 @@ impl System {
                     walk_hist: core.tlbs.walker_latency_hist(),
                     seesaw,
                     tft,
+                    vespa,
+                    waypred: core.l1.way_prediction_stats(),
                 }
             })
             .collect();
@@ -794,6 +444,8 @@ impl System {
         let mut walker_total = WalkerStats::default();
         let mut seesaw_stats = SeesawStats::default();
         let mut tft_stats = TftStats::default();
+        let mut vespa_stats = VespaStats::default();
+        let mut waypred_stats: Option<WayPredictionStats> = None;
         let mut walk_latency: Option<Log2Histogram> = None;
         let mut miss_penalty: Option<Log2Histogram> = None;
         let mut core_results: Vec<CoreResult> = Vec::with_capacity(n);
@@ -811,8 +463,32 @@ impl System {
                     TftStats::default(),
                     bl.way_prediction_accuracy(),
                 ),
-                L1Flavor::Vivt(_) => (SeesawStats::default(), TftStats::default(), None),
+                L1Flavor::MicroTag(m) => (
+                    SeesawStats::default(),
+                    TftStats::default(),
+                    m.way_prediction_accuracy(),
+                ),
+                L1Flavor::Vivt(_) | L1Flavor::Vespa(_) => {
+                    (SeesawStats::default(), TftStats::default(), None)
+                }
             };
+            if let L1Flavor::Vespa(v) = &core.l1 {
+                add_vespa(&mut vespa_stats, &v.vespa_stats().delta(&b.vespa));
+            }
+            if let Some(now) = core.l1.way_prediction_stats() {
+                let base = b.waypred.unwrap_or_default();
+                let delta = WayPredictionStats {
+                    hits: now.hits - base.hits,
+                    mispredictions: now.mispredictions - base.mispredictions,
+                    cold: now.cold - base.cold,
+                    alias_mispredicts: now.alias_mispredicts - base.alias_mispredicts,
+                };
+                let total = waypred_stats.get_or_insert_with(WayPredictionStats::default);
+                total.hits += delta.hits;
+                total.mispredictions += delta.mispredictions;
+                total.cold += delta.cold;
+                total.alias_mispredicts += delta.alias_mispredicts;
+            }
             let tlb = core.tlbs.l1_stats().delta(&b.tlb);
             let walker = core.tlbs.walker_stats().delta(&b.walker);
             let walk_hist = core.tlbs.walker_latency_hist().delta(&b.walk_hist);
@@ -893,6 +569,26 @@ impl System {
         walk_latency.collect("tlb.walk_latency", &mut metrics);
         seesaw_stats.collect("seesaw", &mut metrics);
         tft_stats.collect("tft", &mut metrics);
+        if matches!(self.cores[0].l1, L1Flavor::Vespa(_)) {
+            vespa_stats.collect("vespa", &mut metrics);
+        }
+        if let Some(wp) = waypred_stats.as_ref() {
+            wp.collect("l1.waypred", &mut metrics);
+        }
+        {
+            // Measured average load-to-use latency over L1 hits: the
+            // head-to-head hit-latency column of the designs driver.
+            let hits: u64 = counters.iter().map(|c| c.hits).sum();
+            let cycles: u64 = counters.iter().map(|c| c.hit_cycles).sum();
+            metrics.set_f64(
+                "l1.avg_hit_latency_cycles",
+                if hits == 0 {
+                    0.0
+                } else {
+                    cycles as f64 / hits as f64
+                },
+            );
+        }
         energy.collect("energy", &mut metrics);
         let (l2_cache, llc, dram_accesses, writebacks_received) = self.uncore.outer.stats();
         l2_cache.collect("outer.l2", &mut metrics);
@@ -1003,17 +699,6 @@ impl System {
             }
         }
         SimError::Check(v)
-    }
-
-    fn tlb_config(config: &RunConfig) -> TlbHierarchyConfig {
-        let mut tlb = match config.cpu {
-            CpuKind::InOrder => TlbHierarchyConfig::atom(),
-            CpuKind::OutOfOrder => TlbHierarchyConfig::sandybridge(),
-        };
-        if let Some(entries) = config.l1_tlb_4k_entries {
-            tlb = tlb.with_l1_4k_entries(entries);
-        }
-        tlb
     }
 }
 
@@ -1221,6 +906,17 @@ fn interleave<C: CpuModel, S: Sink, P: Progress>(
                         }
                         return Err(v.into());
                     }
+                    // A µtag hit served without tag verification (the
+                    // `skip_way_verification` chaos knob) may have returned
+                    // the wrong way's data: audit it as an alias violation.
+                    if let Some(way) = out.unverified_alias_way {
+                        if let Err(v) = checker.audit_way_prediction(at, va.raw(), way, false) {
+                            if S::ENABLED {
+                                sink.emit(at, EventKind::Violation { kind: v.kind.name() });
+                            }
+                            return Err(v.into());
+                        }
+                    }
                 }
 
                 let mut squash_cycles = 0u64;
@@ -1340,6 +1036,10 @@ fn interleave<C: CpuModel, S: Sink, P: Progress>(
                 if is_ooo && out.way_prediction_correct == Some(false) {
                     squash_cycles = squash_cycles.max(2);
                 }
+                if measure && out.hit {
+                    ctr.hits += 1;
+                    ctr.hit_cycles += latency;
+                }
 
                 cpu.retire(tref.gap, latency, squash_cycles);
                 st.executed += tref.gap + 1;
@@ -1437,6 +1137,12 @@ fn interleave<C: CpuModel, S: Sink, P: Progress>(
                     if S::ENABLED {
                         sink.emit(at, EventKind::TftFlush);
                     }
+                }
+                // The µtag is virtually tagged without ASIDs, so a context
+                // switch flushes the predictor (Zen2 erratum-style behavior)
+                // — every prediction goes cold, data stays resident.
+                if let L1Flavor::MicroTag(m) = &mut cores[i].l1 {
+                    m.context_switch();
                 }
             }
 
@@ -1580,6 +1286,12 @@ fn apply_page_op<S: Sink>(
                 L1Flavor::Vivt(l1) if !dropped => {
                     l1.handle_op(&op);
                 }
+                // VESPA sweeps promoted regions exactly as SEESAW does
+                // (partition residency is a correctness invariant for its
+                // always-fast superpage lookups).
+                L1Flavor::Vespa(l1) if !dropped => {
+                    l1.handle_op(&op);
+                }
                 _ => {}
             }
         }
@@ -1695,6 +1407,43 @@ fn observe_op(
                         }
                     }
                 }
+                L1Flavor::Vespa(l1) => {
+                    // Same residency + reachability contract as SEESAW:
+                    // the sweep must clear every line of the migrated-away
+                    // frames, and each survivor must sit in the partition
+                    // its physical address names.
+                    let mut ranges: Vec<(u64, u64)> = old_frames
+                        .iter()
+                        .map(|f| {
+                            let first = f.base().raw() / 64;
+                            (first, first + f.size().bytes() / 64)
+                        })
+                        .collect();
+                    ranges.sort_unstable();
+                    let resident = l1
+                        .resident_lines()
+                        .filter(|line| {
+                            ranges
+                                .binary_search_by(|&(lo, hi)| {
+                                    if line.ptag < lo {
+                                        std::cmp::Ordering::Greater
+                                    } else if line.ptag >= hi {
+                                        std::cmp::Ordering::Less
+                                    } else {
+                                        std::cmp::Ordering::Equal
+                                    }
+                                })
+                                .is_ok()
+                        })
+                        .count();
+                    let unreachable = l1.audit_partition_reachability();
+                    if let Some(checker) = core.checker.as_mut() {
+                        checker.audit_promotion_sweep(instruction, region_va, resident)?;
+                        if let Some(unreachable) = unreachable {
+                            checker.audit_partitions(instruction, unreachable)?;
+                        }
+                    }
+                }
                 L1Flavor::Vivt(l1) => {
                     // VIVT back-pointers must not reference the frames
                     // the promotion freed.
@@ -1703,7 +1452,7 @@ fn observe_op(
                         checker.audit_physical_mappings(instruction, plines)?;
                     }
                 }
-                L1Flavor::Baseline(_) => {}
+                L1Flavor::Baseline(_) | L1Flavor::MicroTag(_) => {}
             }
         }
         PageTableOp::Unmapped(page) => {
@@ -1840,6 +1589,9 @@ fn apply_fault<S: Sink>(
                     sink.emit(instruction, EventKind::TftFlush);
                 }
             }
+            if let L1Flavor::MicroTag(m) = &mut cores[initiator].l1 {
+                m.context_switch();
+            }
             if let Some(checker) = cores[initiator].checker.as_mut() {
                 checker.record_event(instruction, CheckEvent::ContextSwitch);
             }
@@ -1960,6 +1712,23 @@ fn add_seesaw(total: &mut SeesawStats, s: &SeesawStats) {
     total.swept_lines += swept_lines;
 }
 
+fn add_vespa(total: &mut VespaStats, s: &VespaStats) {
+    let VespaStats {
+        super_fast_hits,
+        super_fast_misses,
+        base_accesses,
+        wasted_probe_ways,
+        sweeps,
+        swept_lines,
+    } = *s;
+    total.super_fast_hits += super_fast_hits;
+    total.super_fast_misses += super_fast_misses;
+    total.base_accesses += base_accesses;
+    total.wasted_probe_ways += wasted_probe_ways;
+    total.sweeps += sweeps;
+    total.swept_lines += swept_lines;
+}
+
 fn add_tft(total: &mut TftStats, s: &TftStats) {
     let TftStats {
         hits,
@@ -2012,6 +1781,7 @@ fn add_checker(total: &mut CheckerSummary, s: &CheckerSummary) {
         swept_line_resident,
         partition_unreachable,
         stale_physical_mapping,
+        way_prediction_alias,
     } = violations;
     total.violations.stale_translation += stale_translation;
     total.violations.tft_claims_base_page += tft_claims_base_page;
@@ -2020,11 +1790,13 @@ fn add_checker(total: &mut CheckerSummary, s: &CheckerSummary) {
     total.violations.swept_line_resident += swept_line_resident;
     total.violations.partition_unreachable += partition_unreachable;
     total.violations.stale_physical_mapping += stale_physical_mapping;
+    total.violations.way_prediction_alias += way_prediction_alias;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::L1DesignKind;
 
     #[test]
     fn runs_are_deterministic() {

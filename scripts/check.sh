@@ -55,6 +55,11 @@ SEESAW_THREADS=4 SEESAW_STATUS="$status_dir" SEESAW_TRACE="$trace_dir" \
 ./target/release/seesaw-status "$status_dir" --assert-done
 ./target/release/seesaw-status --check-prom "$trace_dir/fig15.prom"
 
+echo "==> designs smoke: every L1 design fingerprint-stable, all distinct, figure driver emits valid .prom"
+./target/release/designs --smoke
+SEESAW_TRACE="$trace_dir" ./target/release/designs 60000
+./target/release/seesaw-status --check-prom "$trace_dir/designs.prom"
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -10,6 +10,12 @@
 
 use proptest::prelude::*;
 
+use seesaw_cache::{CacheConfig, IndexPolicy};
+use seesaw_core::{
+    BaselineL1, L1DataCache, L1Request, L1Timing, MicroTagConfig, MicroTagL1, SeesawConfig,
+    SeesawL1, VespaConfig, VespaL1, VivtL1,
+};
+use seesaw_mem::{PageSize, PhysAddr, VirtAddr};
 use seesaw_sim::{L1DesignKind, RunConfig, System};
 use seesaw_workloads::{catalog, TraceGenerator, TraceRef};
 
@@ -50,6 +56,115 @@ proptest! {
     }
 }
 
+/// The drive functions for the dyn-vs-direct property. `drive_direct`
+/// monomorphizes per concrete design — every `access` is a static call,
+/// the pre-refactor enum path — while `drive_dyn` goes through the
+/// `&mut dyn L1DataCache` vtable exactly as `L1Flavor::as_dyn` does in
+/// the run loop. The property says the two are observably identical.
+fn drive_direct<L: L1DataCache>(l1: &mut L, reqs: &[L1Request]) -> Vec<String> {
+    reqs.iter().map(|r| format!("{:?}", l1.access(r))).collect()
+}
+
+fn drive_dyn(l1: &mut dyn L1DataCache, reqs: &[L1Request]) -> Vec<String> {
+    reqs.iter().map(|r| format!("{:?}", l1.access(r))).collect()
+}
+
+/// Builds a random mixed request stream: page-local runs over a handful
+/// of 2 MB regions, some superpage-backed (VA == PA inside the region,
+/// as THP guarantees) and some splintered to scattered 4 KB frames.
+fn request_stream(picks: &[(u8, u16, bool)]) -> Vec<L1Request> {
+    picks
+        .iter()
+        .map(|&(region, line, is_write)| {
+            let region = (region % 6) as u64;
+            let va = (region + 1) * (2 << 20) + (line as u64) * 64;
+            // Even regions are superpage-backed (identity-offset frame),
+            // odd ones splintered: each 4 KB page maps to a frame whose
+            // low 12 bits match but whose frame number is scrambled.
+            let superpage = region.is_multiple_of(2);
+            let pa = if superpage {
+                va + 0x4000_0000
+            } else {
+                let page = va >> 12;
+                ((page ^ 0x5_a5a5) << 12) | (va & 0xfff)
+            };
+            L1Request {
+                va: VirtAddr::new(va),
+                pa: PhysAddr::new(pa),
+                page_size: if superpage {
+                    PageSize::Super2M
+                } else {
+                    PageSize::Base4K
+                },
+                is_write,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every design driven through the `dyn L1DataCache` vtable (the
+    /// run loop's `L1Flavor::as_dyn` path) produces exactly the
+    /// outcomes and final stats of the same design driven through
+    /// static dispatch, over random mixed superpage/base streams with
+    /// interleaved coherence probes.
+    #[test]
+    fn dyn_dispatch_is_bit_identical_to_direct(
+        picks in prop::collection::vec((any::<u8>(), 0u16..2048, any::<bool>()), 1..200),
+        probe_every in 3usize..17,
+    ) {
+        let reqs = request_stream(&picks);
+        let timing = L1Timing { fast_cycles: 1, slow_cycles: 3 };
+        let cache32 = || CacheConfig::new(32 << 10, 8, 64, IndexPolicy::Vipt);
+
+        fn check<L: L1DataCache>(
+            mut direct: L,
+            mut dynamic: L,
+            reqs: &[L1Request],
+            probe_every: usize,
+        ) {
+            // Interleave identical coherence probes on both instances so
+            // the dyn path's `coherence_probe` is pinned too.
+            for (i, chunk) in reqs.chunks(probe_every).enumerate() {
+                prop_assert_eq!(
+                    drive_direct(&mut direct, chunk),
+                    drive_dyn(&mut dynamic, chunk),
+                    "outcome divergence in chunk {}",
+                    i
+                );
+                let pa = chunk[0].pa;
+                let d = direct.coherence_probe(pa, i % 2 == 0);
+                let v = (&mut dynamic as &mut dyn L1DataCache).coherence_probe(pa, i % 2 == 0);
+                prop_assert_eq!(d, v);
+            }
+            prop_assert_eq!(direct.total_ways(), {
+                let dyn_ref: &mut dyn L1DataCache = &mut dynamic;
+                dyn_ref.total_ways()
+            });
+            prop_assert_eq!(
+                format!("{:?}", direct.cache_stats()),
+                format!("{:?}", dynamic.cache_stats())
+            );
+        }
+
+        let seesaw = || SeesawL1::new(SeesawConfig::l1_32k(), timing);
+        let seesaw_mru = || SeesawL1::new(SeesawConfig::l1_32k().with_way_prediction(), timing);
+        let baseline = || BaselineL1::new(cache32(), timing, false);
+        let baseline_mru = || BaselineL1::new(cache32(), timing, true);
+        let vespa = || VespaL1::new(VespaConfig::with_size_kb(32), timing);
+        let utag = || MicroTagL1::new(MicroTagConfig::new(cache32()), timing);
+        let vivt = || VivtL1::new(32 << 10, 8, timing);
+
+        check(seesaw(), seesaw(), &reqs, probe_every);
+        check(seesaw_mru(), seesaw_mru(), &reqs, probe_every);
+        check(baseline(), baseline(), &reqs, probe_every);
+        check(baseline_mru(), baseline_mru(), &reqs, probe_every);
+        check(vespa(), vespa(), &reqs, probe_every);
+        check(utag(), utag(), &reqs, probe_every);
+        check(vivt(), vivt(), &reqs, probe_every);
+    }
+}
+
 proptest! {
     // Whole-system runs are heavy, so this block trades case count for
     // workload diversity; every case still covers both core counts.
@@ -60,13 +175,25 @@ proptest! {
     /// streams, prewarmed outer hierarchy), the second served from them
     /// — produces bit-identical results at 1 and 2 cores: every stat,
     /// every metrics counter, and every per-invariant shadow-checker
-    /// counter.
+    /// counter. The design is drawn from the whole lab, so the VESPA
+    /// and µtag alternatives are pinned exactly as the originals are.
     #[test]
-    fn warm_cache_replay_is_bit_identical(wl in 0usize..16, size_sel in 0usize..2) {
+    fn warm_cache_replay_is_bit_identical(
+        wl in 0usize..16,
+        size_sel in 0usize..2,
+        design_sel in 0usize..5,
+    ) {
         for cores in [1usize, 2] {
             let name = catalog()[wl % catalog().len()].name;
+            let design = [
+                L1DesignKind::Seesaw,
+                L1DesignKind::BaselineVipt,
+                L1DesignKind::SeesawWithWayPrediction,
+                L1DesignKind::Vespa,
+                L1DesignKind::BaselineMicroTag,
+            ][design_sel];
             let cfg = RunConfig::quick(name)
-                .design(L1DesignKind::Seesaw)
+                .design(design)
                 .l1_size([32, 64][size_sel])
                 .cores(cores)
                 .with_checker()
