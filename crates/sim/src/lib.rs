@@ -54,6 +54,7 @@ mod core;
 pub mod diff;
 mod error;
 pub mod experiments;
+pub mod fabric;
 mod report;
 pub mod repro;
 pub mod runner;

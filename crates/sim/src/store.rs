@@ -65,6 +65,95 @@ use crate::{RunResult, SimError};
 const MAGIC: &str = "seesaw-store";
 const VERSION: u32 = 1;
 
+// ---------------------------------------------------------------------------
+// Shared record IO: one wire format for every on-disk record.
+//
+// The store and the distributed fabric (`crate::fabric`) write the same
+// shape of file — `seesaw-store 1 <kind> <len> <crc16hex>\n` followed by
+// the payload and a trailing newline — committed via a private tmp file
+// and an atomic rename. These free helpers are the single
+// implementation; `Store` layers its journal and traffic counters on
+// top, the fabric layers its queue semantics. DESIGN.md §16 is the
+// normative specification of the format.
+// ---------------------------------------------------------------------------
+
+/// Process-wide tmp-file sequence shared by every record writer, so two
+/// handles on the same directory never collide on a tmp name.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically commits one checksummed record: header + payload written
+/// to `.tmp-<pid>-<seq>`, fsynced, then renamed to `name`. Returns the
+/// payload's FNV-1a-64 checksum (the journal line wants it).
+///
+/// # Errors
+/// Any filesystem error; the tmp file is removed on failure.
+pub(crate) fn commit_record(
+    dir: &Path,
+    name: &str,
+    kind: &str,
+    payload: &str,
+) -> std::io::Result<u64> {
+    let crc = fnv1a64(payload.as_bytes());
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let finished = (|| -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(record_bytes(kind, payload).as_bytes())?;
+        f.sync_all()?;
+        fs::rename(&tmp, dir.join(name))?;
+        Ok(())
+    })();
+    match finished {
+        Ok(()) => Ok(crc),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The full file image of one record — header, payload, trailing
+/// newline. The fabric writes claim records through `create_new` (the
+/// O_EXCL exclusivity is the claim) and so cannot go through
+/// [`commit_record`]'s tmp+rename path.
+pub(crate) fn record_bytes(kind: &str, payload: &str) -> String {
+    let crc = fnv1a64(payload.as_bytes());
+    format!(
+        "{MAGIC} {VERSION} {kind} {} {crc:016x}\n{payload}\n",
+        payload.len()
+    )
+}
+
+/// Reads and validates one record file, returning `(kind, payload)`.
+/// `None` for absent, truncated, garbled, or version-skewed records —
+/// corruption is a skip, never a panic.
+pub(crate) fn read_record_at(path: &Path) -> Option<(String, String)> {
+    let bytes = fs::read(path).ok()?;
+    let text = String::from_utf8(bytes).ok()?;
+    let (header, rest) = text.split_once('\n')?;
+    let mut fields = header.split(' ');
+    if fields.next() != Some(MAGIC) {
+        return None;
+    }
+    if fields.next()?.parse::<u32>().ok()? != VERSION {
+        return None;
+    }
+    let kind = fields.next()?;
+    let len: usize = fields.next()?.parse().ok()?;
+    let crc = u64::from_str_radix(fields.next()?, 16).ok()?;
+    if fields.next().is_some() || rest.len() < len {
+        return None;
+    }
+    let payload = &rest[..len];
+    if fnv1a64(payload.as_bytes()) != crc {
+        return None;
+    }
+    Some((kind.to_string(), payload.to_string()))
+}
+
 /// 128-bit FNV-1a digest of a fingerprint, as 32 hex digits — the
 /// record's file-name stem and the short form of the configuration
 /// attached to supervisor reports.
@@ -89,7 +178,7 @@ fn fnv1a128(bytes: &[u8]) -> u128 {
     h
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);
@@ -157,7 +246,6 @@ pub enum StoredOutcome {
 pub struct Store {
     dir: PathBuf,
     journal: Mutex<()>,
-    tmp_seq: AtomicU64,
     hits: AtomicU64,
     failure_hits: AtomicU64,
     misses: AtomicU64,
@@ -178,7 +266,6 @@ impl Store {
         Ok(Store {
             dir,
             journal: Mutex::new(()),
-            tmp_seq: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             failure_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -301,24 +388,8 @@ impl Store {
     }
 
     fn commit(&self, name: &str, kind: &str, payload: &str) {
-        let crc = fnv1a64(payload.as_bytes());
-        let header = format!("{MAGIC} {VERSION} {kind} {} {crc:016x}\n", payload.len());
-        let tmp = self.dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
-        ));
-        let finished = (|| -> std::io::Result<()> {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(header.as_bytes())?;
-            f.write_all(payload.as_bytes())?;
-            f.write_all(b"\n")?;
-            f.sync_all()?;
-            fs::rename(&tmp, self.dir.join(name))?;
-            Ok(())
-        })();
-        match finished {
-            Ok(()) => {
+        match commit_record(&self.dir, name, kind, payload) {
+            Ok(crc) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
                 let _guard = self.journal.lock().expect("store journal lock");
                 let line = format!("{kind} {name} {} {crc:016x}\n", payload.len());
@@ -330,7 +401,6 @@ impl Store {
             }
             Err(e) => {
                 self.write_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = fs::remove_file(&tmp);
                 eprintln!(
                     "warning: SEESAW_STORE write of {name} failed ({e}); \
                      the sweep continues without persisting this cell"
@@ -356,27 +426,7 @@ impl Store {
     }
 
     fn read_record_quiet(&self, path: &Path) -> Option<String> {
-        let bytes = fs::read(path).ok()?;
-        let text = String::from_utf8(bytes).ok()?;
-        let (header, rest) = text.split_once('\n')?;
-        let mut fields = header.split(' ');
-        if fields.next() != Some(MAGIC) {
-            return None;
-        }
-        if fields.next()?.parse::<u32>().ok()? != VERSION {
-            return None;
-        }
-        let _kind = fields.next()?;
-        let len: usize = fields.next()?.parse().ok()?;
-        let crc = u64::from_str_radix(fields.next()?, 16).ok()?;
-        if fields.next().is_some() || rest.len() < len {
-            return None;
-        }
-        let payload = &rest[..len];
-        if fnv1a64(payload.as_bytes()) != crc {
-            return None;
-        }
-        Some(payload.to_string())
+        read_record_at(path).map(|(_kind, payload)| payload)
     }
 }
 
@@ -410,7 +460,7 @@ pub fn process_store() -> Option<&'static std::sync::Arc<Store>> {
 // Payload codec: flat `key value` lines, one per scalar.
 // ---------------------------------------------------------------------------
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -423,7 +473,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn unesc(s: &str) -> String {
+pub(crate) fn unesc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -441,25 +491,31 @@ fn unesc(s: &str) -> String {
     out
 }
 
-struct Enc {
-    out: String,
+pub(crate) struct Enc {
+    pub(crate) out: String,
 }
 
 impl Enc {
-    fn new(fingerprint: &str) -> Enc {
-        let mut e = Enc { out: String::new() };
+    pub(crate) fn new(fingerprint: &str) -> Enc {
+        let mut e = Enc::raw();
         e.s("fingerprint", fingerprint);
         e
     }
 
-    fn line(&mut self, key: &str, value: impl std::fmt::Display) {
+    /// An encoder with no leading `fingerprint` line — fabric claim and
+    /// manifest records are not keyed by a configuration.
+    pub(crate) fn raw() -> Enc {
+        Enc { out: String::new() }
+    }
+
+    pub(crate) fn line(&mut self, key: &str, value: impl std::fmt::Display) {
         self.out.push_str(key);
         self.out.push(' ');
         self.out.push_str(&value.to_string());
         self.out.push('\n');
     }
 
-    fn u(&mut self, key: &str, v: u64) {
+    pub(crate) fn u(&mut self, key: &str, v: u64) {
         self.line(key, v);
     }
 
@@ -467,7 +523,7 @@ impl Enc {
         self.line(key, format_args!("f{:016x}", v.to_bits()));
     }
 
-    fn s(&mut self, key: &str, v: &str) {
+    pub(crate) fn s(&mut self, key: &str, v: &str) {
         self.line(key, esc(v));
     }
 
@@ -479,14 +535,14 @@ impl Enc {
     }
 }
 
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     map: HashMap<&'a str, &'a str>,
 }
 
-type DecErr = String;
+pub(crate) type DecErr = String;
 
 impl<'a> Dec<'a> {
-    fn new(payload: &'a str) -> Dec<'a> {
+    pub(crate) fn new(payload: &'a str) -> Dec<'a> {
         let mut map = HashMap::new();
         for line in payload.lines() {
             if let Some((k, v)) = line.split_once(' ') {
@@ -496,14 +552,14 @@ impl<'a> Dec<'a> {
         Dec { map }
     }
 
-    fn raw(&self, key: &str) -> Result<&'a str, DecErr> {
+    pub(crate) fn raw(&self, key: &str) -> Result<&'a str, DecErr> {
         self.map
             .get(key)
             .copied()
             .ok_or_else(|| format!("missing key {key:?}"))
     }
 
-    fn u(&self, key: &str) -> Result<u64, DecErr> {
+    pub(crate) fn u(&self, key: &str) -> Result<u64, DecErr> {
         self.raw(key)?
             .parse()
             .map_err(|_| format!("key {key:?}: bad integer"))
@@ -513,8 +569,24 @@ impl<'a> Dec<'a> {
         parse_f(self.raw(key)?).ok_or_else(|| format!("key {key:?}: bad float bits"))
     }
 
-    fn s(&self, key: &str) -> Result<String, DecErr> {
+    pub(crate) fn s(&self, key: &str) -> Result<String, DecErr> {
         Ok(unesc(self.raw(key)?))
+    }
+
+    /// Every `(key, value)` pair whose key starts with `prefix`, with
+    /// the prefix stripped — how the fabric's job decoder walks the
+    /// open-ended `cfg.*` section.
+    pub(crate) fn with_prefix(&self, prefix: &str) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .map
+            .iter()
+            .filter_map(|(k, v)| {
+                k.strip_prefix(prefix)
+                    .map(|rest| (rest.to_string(), unesc(v)))
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     fn opt_f(&self, key: &str) -> Result<Option<f64>, DecErr> {
